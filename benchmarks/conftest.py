@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table of the paper has a bench module here.  pytest-benchmark
+times the operation under test; the *figure's* numbers (bytes, hops,
+ratios) are attached to each benchmark's ``extra_info`` so a single
+``pytest benchmarks/ --benchmark-only`` run regenerates the paper's series
+alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import cable_wireless_24
+
+
+@pytest.fixture(scope="session")
+def topology():
+    return cable_wireless_24()

@@ -1,0 +1,17 @@
+"""Workload-loading helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.broker.system import SummaryPubSub
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def load_summary_system(topology, sigma, subsumption, seed=0, system_cls=SummaryPubSub, **kwargs):
+    """A summary system with sigma subscriptions per broker, un-propagated."""
+    config = WorkloadConfig(sigma=sigma, subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=seed)
+    system = system_cls(topology, generator.schema, **kwargs)
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(sigma):
+            system.subscribe(broker_id, subscription)
+    return system, generator

@@ -1,0 +1,89 @@
+"""Ablation — propagation target-selection policy (DESIGN.md section 5.3).
+
+The paper's text prefers forwarding merged summaries to the *smallest*
+eligible-degree neighbor; on mesh overlays that fragments knowledge and
+lengthens figure-10 BROCLI chains, so the experiments default to the
+*highest*-degree preference.  This bench quantifies the difference on the
+reconstructed backbone: propagation cost is essentially the same, while
+the event-routing chains differ markedly.
+"""
+
+import pytest
+
+from repro.broker.propagation import TargetPolicy
+from repro.broker.system import SummaryPubSub
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+def _probe_system(topology, policy):
+    system = SummaryPubSub(
+        topology, popularity_schema(), propagation_policy=policy
+    )
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, probe_subscription(broker_id))
+    return system
+
+
+@pytest.mark.parametrize("policy", list(TargetPolicy), ids=lambda p: p.value)
+def test_propagation_under_policy(benchmark, topology, policy):
+    """Time: one propagation period under each target policy."""
+
+    def setup():
+        return (_probe_system(topology, policy),), {}
+
+    def run(system):
+        system.run_propagation_period()
+        return system
+
+    # setup() builds a fresh system per round, so the returned system's
+    # metrics reflect exactly one period.
+    system = benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["policy"] = policy.value
+    benchmark.extra_info["hops"] = system.propagation_metrics.hops
+    # Knowledge concentration: how many maximal knowledge clusters remain.
+    keys = {frozenset(b.merged_brokers) for b in system.brokers.values()}
+    maximal = sum(1 for key in keys if not any(key < other for other in keys))
+    benchmark.extra_info["knowledge_clusters"] = maximal
+
+
+@pytest.mark.parametrize("policy", list(TargetPolicy), ids=lambda p: p.value)
+def test_event_chain_under_policy(benchmark, topology, policy):
+    """Time + mean hops: low-popularity events under each policy."""
+    system = _probe_system(topology, policy)
+    system.run_propagation_period()
+    events = [
+        popularity_event(matched)
+        for matched in draw_matched_sets(topology.num_brokers, 0.10, 32, seed=5)
+    ]
+    state = {"i": 0, "hops": 0, "count": 0}
+
+    def publish_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        outcome = system.publish(state["i"] % topology.num_brokers, event)
+        state["hops"] += outcome.hops
+        state["count"] += 1
+
+    benchmark(publish_next)
+    benchmark.extra_info["policy"] = policy.value
+    benchmark.extra_info["mean_event_hops@10%"] = round(
+        state["hops"] / state["count"], 2
+    )
+
+
+def test_policies_deliver_identically(topology):
+    """The ablation changes cost only — never the delivery set."""
+    outcomes = {}
+    for policy in TargetPolicy:
+        system = _probe_system(topology, policy)
+        system.run_propagation_period()
+        matched = {2, 9, 20}
+        outcome = system.publish(0, popularity_event(matched))
+        outcomes[policy] = outcome.matched_brokers
+        assert outcome.matched_brokers == matched
+    assert len(set(map(frozenset, outcomes.values()))) == 1

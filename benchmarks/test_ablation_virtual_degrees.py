@@ -1,0 +1,57 @@
+"""Ablation — virtual degrees (section-6 extension).
+
+Measures the load/latency trade-off: the busiest maximum-degree broker's
+share of event examinations drops under hub rotation, at a bounded
+mean-hop cost.
+"""
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.ext.virtual_degrees import enable_virtual_degrees, hub_load_spread
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+def _system(topology, tolerance=None):
+    system = SummaryPubSub(topology, popularity_schema())
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+    if tolerance is not None:
+        enable_virtual_degrees(system, tolerance)
+    return system
+
+
+@pytest.mark.parametrize(
+    "tolerance", [None, 0, 1], ids=["plain", "rotate-ties", "rotate-near"]
+)
+def test_event_routing_under_router(benchmark, topology, tolerance):
+    """Time + hub load: 48 events at 25% popularity under each router."""
+    system = _system(topology, tolerance)
+    events = [
+        popularity_event(matched)
+        for matched in draw_matched_sets(topology.num_brokers, 0.25, 48, seed=13)
+    ]
+    state = {"i": 0, "hops": 0, "count": 0}
+
+    def publish_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        outcome = system.publish(state["i"] % topology.num_brokers, event)
+        state["hops"] += outcome.hops
+        state["count"] += 1
+
+    benchmark(publish_next)
+    hubs = topology.brokers_by_degree(topology.max_degree)
+    loads = hub_load_spread(system)
+    benchmark.extra_info["router"] = (
+        "plain" if tolerance is None else f"virtual(tol={tolerance})"
+    )
+    benchmark.extra_info["mean_hops"] = round(state["hops"] / state["count"], 2)
+    benchmark.extra_info["max_hub_load"] = max(loads[hub] for hub in hubs)
+    benchmark.extra_info["total_examinations"] = sum(loads.values())

@@ -1,0 +1,83 @@
+"""Micro-benchmarks for the wire codec (every byte the simulator charges
+passes through these paths)."""
+
+import pytest
+
+from repro.model import IdCodec, SubscriptionId
+from repro.wire.codec import ValueWidth, WireCodec
+from repro.wire.messages import EventMessage, MessageCodec
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def fixture_set():
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=0.5), seed=23)
+    wire = WireCodec(
+        generator.schema,
+        IdCodec(24, 1 << 20, len(generator.schema)),
+        ValueWidth.F32,
+    )
+    return generator, wire
+
+
+def test_event_encode(benchmark, fixture_set):
+    generator, wire = fixture_set
+    events = generator.events(64)
+    state = {"i": 0}
+
+    def encode_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        return wire.encode_event(event)
+
+    benchmark(encode_next)
+
+
+def test_event_decode(benchmark, fixture_set):
+    generator, wire = fixture_set
+    blobs = [wire.encode_event(event) for event in generator.events(64)]
+    state = {"i": 0}
+
+    def decode_next():
+        blob = blobs[state["i"] % len(blobs)]
+        state["i"] += 1
+        return wire.decode_event(blob)
+
+    benchmark(decode_next)
+
+
+def test_subscription_encode(benchmark, fixture_set):
+    generator, wire = fixture_set
+    subscriptions = generator.subscriptions(64)
+    state = {"i": 0}
+
+    def encode_next():
+        subscription = subscriptions[state["i"] % len(subscriptions)]
+        state["i"] += 1
+        return wire.encode_subscription(subscription)
+
+    benchmark(encode_next)
+
+
+def test_id_pack_unpack(benchmark):
+    codec = IdCodec(24, 1 << 20, 10)
+    sids = [
+        SubscriptionId(broker=b % 24, local_id=b * 37 % (1 << 20), attr_mask=(b % 1023) + 1)
+        for b in range(256)
+    ]
+    state = {"i": 0}
+
+    def roundtrip_next():
+        sid = sids[state["i"] % len(sids)]
+        state["i"] += 1
+        return codec.from_bytes(codec.to_bytes(sid))
+
+    benchmark(roundtrip_next)
+
+
+def test_message_size_accounting(benchmark, fixture_set):
+    """size() is called once per simulated send — it must stay cheap."""
+    generator, wire = fixture_set
+    codec = MessageCodec(wire)
+    message = EventMessage(event=generator.event(), brocli=frozenset(range(12)))
+    benchmark(codec.size, message)

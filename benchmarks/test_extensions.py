@@ -1,0 +1,82 @@
+"""Benches for the remaining extensions: advertisements and snapshots."""
+
+import pytest
+
+from repro.broker.persistence import SnapshotCodec
+from repro.ext.advertisements import (
+    AdvertisingPubSub,
+    subscription_intersects_advertisement,
+)
+from repro.model import parse_subscription, stock_schema
+from helpers import load_summary_system
+
+
+def _advertised_system(topology):
+    schema = stock_schema()
+    system = AdvertisingPubSub(topology, schema)
+    # One producer space; half the interests intersect it.
+    system.advertise(0, parse_subscription(schema, "exchange = NYSE AND price < 100"))
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, parse_subscription(schema, f"price < {broker_id + 2}"))
+        system.subscribe(
+            broker_id, parse_subscription(schema, f"exchange = LSE AND volume > {broker_id}")
+        )
+    return system
+
+
+def test_advertisement_filtered_propagation(benchmark, topology):
+    """Time: a propagation period with half the interests dormant."""
+
+    def setup():
+        return (_advertised_system(topology),), {}
+
+    def run(system):
+        system.run_propagation_period()
+        return system
+
+    system = benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["dormant"] = system.total_dormant()
+    benchmark.extra_info["propagation_bytes"] = system.propagation_metrics.bytes_sent
+    assert system.total_dormant() == topology.num_brokers  # the LSE watchers
+
+
+def test_intersection_check(benchmark):
+    """Time: one subscription-vs-advertisement intersection test."""
+    schema = stock_schema()
+    subscription = parse_subscription(
+        schema, "exchange = NYSE AND price > 10 AND price < 20 AND symbol >* OT"
+    )
+    advertisement = parse_subscription(
+        schema, "exchange = NYSE AND price < 100 AND volume > 0"
+    )
+    result = benchmark(
+        subscription_intersects_advertisement, subscription, advertisement
+    )
+    assert result is True
+
+
+def test_snapshot_encode(benchmark, topology):
+    """Time: snapshotting one loaded broker."""
+    system, _ = load_summary_system(topology, sigma=100, subsumption=0.5)
+    system.run_propagation_period()
+    codec = SnapshotCodec(system.wire)
+    broker = system.brokers[0]
+    data = benchmark(codec.encode_broker, broker)
+    benchmark.extra_info["snapshot_bytes"] = len(data)
+
+
+def test_snapshot_restore(benchmark, topology):
+    """Time: restoring one broker from its snapshot."""
+    from repro.broker.system import SummaryPubSub
+    from repro.workload import WorkloadConfig, WorkloadGenerator
+
+    system, generator = load_summary_system(topology, sigma=100, subsumption=0.5)
+    system.run_propagation_period()
+    codec = SnapshotCodec(system.wire)
+    data = codec.encode_broker(system.brokers[0])
+
+    def setup():
+        fresh = SummaryPubSub(topology, generator.schema)
+        return (data, fresh.brokers[0]), {}
+
+    benchmark.pedantic(codec.restore_broker, setup=setup, rounds=5)

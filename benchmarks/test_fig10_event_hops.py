@@ -1,0 +1,47 @@
+"""Figure 10 bench — hop counts for distributed event processing.
+
+Times the full Algorithm-3 pipeline (match at each visited broker, BROCLI
+forwarding, owner notification) per event and regenerates the figure's
+mean-hop series for both methods.
+"""
+
+import pytest
+
+from repro.experiments.fig10_event_hops import build_probe_system
+from repro.siena.probmodel import SienaProbModel
+from repro.workload.popularity import draw_matched_sets, popularity_event
+
+
+@pytest.fixture(scope="module")
+def probe_system(topology):
+    return build_probe_system(topology)
+
+
+@pytest.mark.parametrize("popularity", [0.10, 0.25, 0.50, 0.75, 0.90])
+def test_summary_event_routing(benchmark, topology, probe_system, popularity):
+    """Time: publishing one event matching popularity x n brokers."""
+    matched_sets = draw_matched_sets(
+        topology.num_brokers, popularity, count=64, seed=11
+    )
+    events = [popularity_event(matched) for matched in matched_sets]
+    state = {"i": 0, "hops": 0, "events": 0}
+
+    def publish_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        outcome = probe_system.publish(state["i"] % topology.num_brokers, event)
+        state["hops"] += outcome.hops
+        state["events"] += 1
+        return outcome.hops
+
+    benchmark(publish_next)
+    mean_hops = state["hops"] / state["events"]
+    benchmark.extra_info["popularity"] = popularity
+    benchmark.extra_info["summary_mean_hops"] = round(mean_hops, 2)
+    siena = SienaProbModel(topology, 0.0, seed=11)
+    benchmark.extra_info["siena_mean_hops"] = round(
+        siena.mean_event_hops(5, popularity, seed=11), 2
+    )
+    if popularity <= 0.75:
+        # The paper's claim: ours wins up to 75% popularity.
+        assert mean_hops < benchmark.extra_info["siena_mean_hops"] * 1.05

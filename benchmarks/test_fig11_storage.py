@@ -1,0 +1,36 @@
+"""Figure 11 bench — storage for subscriptions.
+
+Times the storage measurement (kept-summary encoding across all brokers)
+and regenerates the figure's byte series: summaries vs the Siena model vs
+full broadcast replication.
+"""
+
+import pytest
+
+from repro.siena.probmodel import SienaProbModel
+from helpers import load_summary_system
+
+OUTSTANDING = 100
+
+
+@pytest.mark.parametrize("subsumption", [0.1, 0.9])
+def test_summary_storage(benchmark, topology, subsumption):
+    """Time: encoding every broker's kept multi-broker summary."""
+    system, _ = load_summary_system(topology, OUTSTANDING, subsumption)
+    system.run_propagation_period()
+    total = benchmark(system.total_summary_storage)
+
+    siena = SienaProbModel(topology, subsumption, seed=0)
+    siena_bytes = siena.storage_bytes(OUTSTANDING, 50, trials=1)
+    n = topology.num_brokers
+    broadcast_bytes = n * n * OUTSTANDING * 50
+
+    benchmark.extra_info["S"] = OUTSTANDING
+    benchmark.extra_info["subsumption"] = subsumption
+    benchmark.extra_info["summary_bytes"] = total
+    benchmark.extra_info["siena_bytes"] = round(siena_bytes)
+    benchmark.extra_info["broadcast_bytes"] = broadcast_bytes
+    benchmark.extra_info["siena_over_summary"] = round(siena_bytes / total, 2)
+    # The paper's claim: summaries beat Siena by ~2-5x on storage.
+    assert siena_bytes / total > 2.0
+    assert siena_bytes <= broadcast_bytes

@@ -1,0 +1,51 @@
+"""Figure 8 bench — bandwidth for subscription propagation.
+
+Times one Algorithm-2 propagation period at sigma = 100 and regenerates
+the figure's byte series (broadcast formula, Siena model, measured
+summaries) into ``extra_info``.
+"""
+
+import pytest
+
+from repro.analysis.cost_model import baseline_bandwidth
+from repro.siena.probmodel import SienaProbModel
+from helpers import load_summary_system
+
+SIGMA = 100
+
+
+@pytest.mark.parametrize("subsumption", [0.1, 0.9])
+def test_summary_propagation_period(benchmark, topology, subsumption):
+    """Time: one full propagation period of sigma=100 per broker."""
+
+    def setup():
+        system, _ = load_summary_system(topology, SIGMA, subsumption)
+        return (system,), {}
+
+    def run(system):
+        system.run_propagation_period()
+        return system.propagation_metrics.bytes_sent
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3)
+    siena = SienaProbModel(topology, subsumption, seed=0)
+    benchmark.extra_info["summary_bytes"] = result
+    benchmark.extra_info["siena_bytes"] = round(
+        siena.propagation_bandwidth(SIGMA, 50, trials=1)
+    )
+    benchmark.extra_info["broadcast_bytes"] = round(
+        baseline_bandwidth(
+            topology.num_brokers, topology.average_path_length(), SIGMA, 50
+        )
+    )
+    benchmark.extra_info["sigma"] = SIGMA
+    benchmark.extra_info["subsumption"] = subsumption
+    # The figure's ordering must hold in every benchmark run.
+    assert result < benchmark.extra_info["siena_bytes"]
+    assert benchmark.extra_info["siena_bytes"] < benchmark.extra_info["broadcast_bytes"]
+
+
+def test_siena_model_propagation(benchmark, topology):
+    """Time: the probabilistic Siena flood for one sigma=100 period."""
+    model = SienaProbModel(topology, max_subsumption=0.5, seed=1)
+    result = benchmark(model.propagation_bandwidth, SIGMA, 50, 1)
+    benchmark.extra_info["siena_bytes"] = round(result)

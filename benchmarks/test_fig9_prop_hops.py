@@ -1,0 +1,39 @@
+"""Figure 9 bench — hop counts for subscription propagation.
+
+Times both propagation mechanisms and regenerates the figure's hop series:
+the Siena flood shrinks with subsumption, the summary period is flat below
+the broker count.
+"""
+
+import pytest
+
+from repro.siena.probmodel import SienaProbModel
+from helpers import load_summary_system
+
+
+def test_summary_propagation_hops(benchmark, topology):
+    """Time: Algorithm-2 period with one subscription per broker."""
+
+    def setup():
+        system, _ = load_summary_system(topology, sigma=1, subsumption=0.5)
+        return (system,), {}
+
+    def run(system):
+        system.run_propagation_period()
+        return system.propagation_metrics.hops
+
+    hops = benchmark.pedantic(run, setup=setup, rounds=5)
+    benchmark.extra_info["summary_hops"] = hops
+    assert hops < topology.num_brokers  # the paper's headline bound
+
+
+@pytest.mark.parametrize("subsumption", [0.1, 0.25, 0.5, 0.75, 0.9])
+def test_siena_propagation_hops(benchmark, topology, subsumption):
+    """Time: one Monte-Carlo propagation round of the Siena model."""
+    model = SienaProbModel(topology, subsumption, seed=3)
+    mean_hops = benchmark(model.mean_propagation_hops, 10)
+    benchmark.extra_info["siena_hops"] = round(mean_hops, 1)
+    benchmark.extra_info["subsumption"] = subsumption
+    n = topology.num_brokers
+    assert mean_hops <= n * (n - 1)
+    assert mean_hops > n  # even heavy pruning leaves the first-hop fan-out

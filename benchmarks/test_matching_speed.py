@@ -1,0 +1,81 @@
+"""Section 5.2.4 bench — computational demands for event processing.
+
+Benchmarks Algorithm-1 matching against the subscription-centric baseline
+at several table sizes.  The paper's claims: same O(N) complexity, but the
+summary matcher's constants are better ("we expect that event filtering
+and matching will be faster in our paradigm").
+"""
+
+import pytest
+
+from repro.model.ids import SubscriptionId
+from repro.summary import BrokerSummary, NaiveMatcher, Precision
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+SIZES = [200, 1000, 4000]
+
+
+def _build(size, precision=Precision.COARSE, subsumption=0.5):
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=subsumption), seed=size)
+    schema = generator.schema
+    summary = BrokerSummary(schema, precision)
+    naive = NaiveMatcher()
+    for local_id, subscription in enumerate(generator.subscriptions(size)):
+        sid = SubscriptionId(0, local_id, schema.mask_of(subscription))
+        summary.add(subscription, sid)
+        naive.add(subscription, sid)
+    events = generator.events(64)
+    return summary, naive, events
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_summary_matching(benchmark, size):
+    summary, _naive, events = _build(size)
+    state = {"i": 0}
+
+    def match_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        return summary.match(event)
+
+    benchmark(match_next)
+    benchmark.extra_info["subscriptions"] = size
+    benchmark.extra_info["matcher"] = "summary (Algorithm 1)"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_naive_matching(benchmark, size):
+    _summary, naive, events = _build(size)
+    state = {"i": 0}
+
+    def match_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        return naive.match(event)
+
+    benchmark(match_next)
+    benchmark.extra_info["subscriptions"] = size
+    benchmark.extra_info["matcher"] = "naive (per-subscription)"
+
+
+def test_speedup_claim(benchmark):
+    """One combined measurement asserting the constant-factor claim."""
+    import time
+
+    summary, naive, events = _build(2000)
+
+    def measure():
+        start = time.perf_counter()
+        for event in events:
+            summary.match(event)
+        summary_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for event in events:
+            naive.match(event)
+        naive_seconds = time.perf_counter() - start
+        return summary_seconds, naive_seconds
+
+    summary_seconds, naive_seconds = benchmark.pedantic(measure, rounds=3)
+    speedup = naive_seconds / summary_seconds
+    benchmark.extra_info["speedup_naive_over_summary"] = round(speedup, 2)
+    assert speedup > 1.0

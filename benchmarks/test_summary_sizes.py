@@ -1,0 +1,67 @@
+"""Equations (1)/(2) bench — analytic sizes vs measured encodings.
+
+Benchmarks summary encoding throughput and records the agreement between
+the section-5.1 analytic size model (TB = AACS + SACS) and the real wire
+encoding for the Table-2 workload.
+"""
+
+import pytest
+
+from repro.analysis.cost_model import expected_summary_size, summary_size_from_stats
+from repro.summary import Precision, SubscriptionStore
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _summary_and_wire(subsumption, count=500):
+    from repro.model import IdCodec
+    from repro.wire.codec import ValueWidth, WireCodec
+
+    config = WorkloadConfig(subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=19)
+    store = SubscriptionStore(generator.schema, 0)
+    for subscription in generator.subscriptions(count):
+        store.subscribe(subscription)
+    summary = store.build_summary(Precision.COARSE)
+    wire = WireCodec(
+        generator.schema,
+        IdCodec(24, 1 << 20, len(generator.schema)),
+        ValueWidth.F32,
+    )
+    return config, summary, wire, count
+
+
+@pytest.mark.parametrize("subsumption", [0.1, 0.5, 0.9])
+def test_summary_encode(benchmark, subsumption):
+    """Time: encoding a 500-subscription summary to wire bytes."""
+    config, summary, wire, count = _summary_and_wire(subsumption)
+    encoded = benchmark(wire.encode_summary, summary)
+
+    measured = len(encoded)
+    analytic = summary_size_from_stats(summary.stats(), config.sst, config.sid)
+    predicted = expected_summary_size(config, count)
+    benchmark.extra_info["subsumption"] = subsumption
+    benchmark.extra_info["measured_bytes"] = measured
+    benchmark.extra_info["analytic_eq12_bytes"] = round(analytic)
+    benchmark.extra_info["predicted_table2_bytes"] = round(predicted)
+    # Wire framing differs from the bare model, but they must agree within
+    # 2x; larger drift means the structures and the model diverged.
+    assert 0.5 < measured / analytic < 2.0
+
+
+def test_summary_decode(benchmark):
+    """Time: decoding (and re-canonicalizing) a 500-subscription summary."""
+    _config, summary, wire, _count = _summary_and_wire(0.5)
+    data = wire.encode_summary(summary)
+    decoded = benchmark(wire.decode_summary, data)
+    assert decoded.all_ids() == summary.all_ids()
+
+
+def test_summary_build(benchmark):
+    """Time: dissolving 500 subscriptions into a fresh summary."""
+    config = WorkloadConfig(subsumption=0.5)
+    generator = WorkloadGenerator(config, seed=19)
+    store = SubscriptionStore(generator.schema, 0)
+    for subscription in generator.subscriptions(500):
+        store.subscribe(subscription)
+    summary = benchmark(store.build_summary, Precision.COARSE)
+    assert len(summary.all_ids()) == 500

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""News alerts with advertisements and measured dissemination latency.
+
+A string-heavy scenario showcasing two extensions together:
+
+* **advertisements** — news agencies advertise the desks they operate
+  (e.g. ``category >* finance``); reader alerts that match no advertised
+  desk stay *dormant* and never cost a byte of propagation;
+* **latency** — the overlay runs on the timed network with seeded link
+  delays, so each alert reports real publish-to-delivery milliseconds.
+
+Run:  python examples/news_alerts.py
+"""
+
+import random
+
+from repro.ext.advertisements import AdvertisingPubSub
+from repro.model import AttributeType, Event, Schema, parse_subscription
+from repro.network import SeededLatency, cable_wireless_24
+from repro.network.backbone import CW24_CITIES
+
+
+def news_schema() -> Schema:
+    return Schema.of(
+        agency=AttributeType.STRING,
+        category=AttributeType.STRING,
+        headline=AttributeType.STRING,
+        region=AttributeType.STRING,
+        urgency=AttributeType.INTEGER,
+        words=AttributeType.INTEGER,
+    )
+
+
+HEADLINES = {
+    "finance.markets": [
+        "Markets rally as rates hold", "Tech stocks slide on earnings",
+        "Merger talks boost telecoms",
+    ],
+    "finance.crypto": ["Exchange outage halts trading", "Regulator fines platform"],
+    "sports.football": ["Cup final goes to penalties", "Transfer record shattered"],
+    "weather.alerts": ["Storm front closes airports", "Heatwave warning extended"],
+}
+
+
+def main() -> None:
+    schema = news_schema()
+    topology = cable_wireless_24()
+    system = AdvertisingPubSub(
+        topology, schema, latency=SeededLatency(lo=3.0, hi=25.0, seed=11)
+    )
+    rng = random.Random(5)
+
+    # Agencies advertise their desks at their home brokers.
+    system.advertise(0, parse_subscription(schema, "agency = REUTERS AND category >* finance"))
+    system.advertise(11, parse_subscription(schema, "agency = AP AND category >* sports"))
+
+    # Reader alerts — note the last two match no advertised desk.
+    alerts = {
+        "markets-watcher": (3, "category = finance.markets AND urgency >= 2"),
+        "crypto-digest": (7, "category >* finance.crypto"),
+        "football-fan": (19, "category = sports.football"),
+        "longread-lover": (14, "category >* finance AND words > 800"),
+        "storm-chaser": (5, "category >* weather"),  # nobody advertises weather
+        "politics-desk": (22, "category >* politics"),  # nor politics
+    }
+    sids = {}
+    for name, (broker, text) in alerts.items():
+        sids[system.subscribe(broker, parse_subscription(schema, text))] = name
+    print(f"alerts registered: {len(alerts)}, dormant (unadvertised): "
+          f"{system.total_dormant()}")
+
+    snapshot = system.run_propagation_period()
+    print(f"propagation: {snapshot['hops']} hops, {snapshot['bytes_sent']} bytes "
+          f"(dormant alerts cost nothing)\n")
+
+    # The wire hums: agencies publish from their home brokers.
+    stories = []
+    for _ in range(12):
+        category = rng.choice(list(HEADLINES))
+        agency, home = ("REUTERS", 0) if category.startswith("finance") else ("AP", 11)
+        if category.startswith("weather"):
+            continue  # unadvertised desk: publishing it would raise
+        stories.append(
+            (
+                home,
+                Event.of(
+                    agency=agency,
+                    category=category,
+                    headline=rng.choice(HEADLINES[category]),
+                    region=rng.choice(["us-east", "us-west", "emea"]),
+                    urgency=rng.randint(1, 3),
+                    words=rng.randint(80, 1500),
+                ),
+            )
+        )
+
+    for home, story in stories:
+        outcome = system.publish(home, story)
+        readers = ", ".join(sorted(sids[d.sid] for d in outcome.deliveries)) or "—"
+        print(
+            f"[{story.value('category'):<16}] {story.value('headline'):<34} "
+            f"-> {readers:<32} ({outcome.latency_ms or 0:5.1f} ms, "
+            f"{outcome.hops} hops)"
+        )
+
+    print(f"\npublisher cities: REUTERS@{CW24_CITIES[0]}, AP@{CW24_CITIES[11]}")
+    print("dormant alerts (storm-chaser, politics-desk) were never propagated;")
+    print("the moment an agency advertises those desks, they wake automatically.")
+
+
+if __name__ == "__main__":
+    main()

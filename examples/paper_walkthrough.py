@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's worked examples, live.
+
+Reconstructs, with the actual library objects:
+
+* figure 2's event and figure 3's subscriptions,
+* figure 4's AACS and figure 5's SACS rows,
+* figure 6's bit-packed subscription id,
+* Example 1 — matching the event against the summaries, counters and all,
+* figure 7 + Example 3 — propagation knowledge and the BROCLI routing
+  trace on the 13-broker tree.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import Event, IdCodec, SubscriptionId, parse_subscription, stock_schema
+from repro.broker.propagation import TargetPolicy
+from repro.broker.system import SummaryPubSub
+from repro.network import paper_example_tree
+from repro.summary import Precision, SubscriptionStore, match_event_detailed
+from repro.workload.popularity import (
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    schema = stock_schema()
+
+    section("Figures 2-3: the event and subscription schemata")
+    event = Event.of(
+        exchange="NYSE", symbol="OTE", price=8.40, volume=132_700,
+        high=8.80, low=8.22,
+    )
+    s1 = parse_subscription(
+        schema, "exchange ~ N*SE AND symbol = OTE AND price < 8.70 AND price > 8.30"
+    )
+    s2 = parse_subscription(
+        schema, "symbol >* OT AND price = 8.20 AND volume > 130000 AND low < 8.05"
+    )
+    print(f"event:          {event}")
+    print(f"subscription 1: {s1}")
+    print(f"subscription 2: {s2}")
+
+    section("Figures 4-5: the summary structures")
+    store = SubscriptionStore(schema, broker_id=0)
+    sid1, sid2 = store.subscribe(s1), store.subscribe(s2)
+    summary = store.build_summary(Precision.COARSE)
+    print(f"AACS(price):  {summary.aacs('price')}")
+    print("  -> one sub-range row (8.30, 8.70) and one equality row 8.20,")
+    print("     exactly figure 4.")
+    print(f"SACS(symbol): {summary.sacs('symbol')}")
+    print("  -> '= OTE' collapsed into the more general '>* OT' row with")
+    print("     both ids, exactly figure 5.")
+
+    section("Figure 6: the bit-packed subscription id")
+    codec = IdCodec(num_brokers=4, max_subscriptions=8, num_attributes=7)
+    figure6 = SubscriptionId(broker=2, local_id=1, attr_mask=0b0110100)
+    print(f"id fields: c1={codec.c1_bits}b c2={codec.c2_bits}b c3={codec.c3_bits}b")
+    print(f"packed:    {codec.pack(figure6):#014b}  "
+          f"(broker 2 | subscription 1 | attributes 3,5,6)")
+    print(f"popcount(c3) = {figure6.attribute_count} constrained attributes")
+
+    section("Example 1: matching the event against the summaries")
+    details = match_event_detailed(summary, event)
+    for name, ids in details.per_attribute.items():
+        tags = ", ".join("S1" if s == sid1 else "S2" for s in sorted(ids))
+        print(f"  {name:<10} -> {tags}")
+    for sid, counter in sorted(details.counters.items()):
+        tag = "S1" if sid == sid1 else "S2"
+        verdict = "MATCH" if sid in details.matched else "no (needs all)"
+        print(f"  {tag}: counter {counter} of {sid.attribute_count} -> {verdict}")
+    assert details.matched == {sid1}
+
+    section("Figure 7 + Example 3: propagation and BROCLI routing")
+    tree = paper_example_tree()
+    system = SummaryPubSub(
+        tree, popularity_schema(),
+        propagation_policy=TargetPolicy.SMALLEST_DEGREE,  # the paper's text
+    )
+    for broker in tree.brokers:
+        system.subscribe(broker, probe_subscription(broker))
+    system.run_propagation_period()
+    print("knowledge after Algorithm 2 (paper numbering = node + 1):")
+    for node in (4, 7, 10):
+        knows = sorted(b + 1 for b in system.brokers[node].merged_brokers)
+        print(f"  broker {node + 1:<2} knows brokers {knows}")
+
+    # Example 3: event matching brokers 4, 8, 13 arrives at broker 1.
+    outcome = system.publish(0, popularity_event({3, 7, 12}))
+    print(f"\nevent for brokers 4, 8, 13 entering at broker 1:")
+    print(f"  {outcome.hops} hops "
+          f"(paper's trace: 1->5, 5->4, 5->8, 8->11, 11->13 = 5)")
+    print(f"  delivered at brokers "
+          f"{sorted(d.broker + 1 for d in outcome.deliveries)}")
+    assert outcome.hops == 5
+    assert outcome.matched_brokers == {3, 7, 12}
+    print("\nevery number above is produced by the library, not hardcoded.")
+
+
+if __name__ == "__main__":
+    main()

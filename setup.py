@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+pip's PEP-660 editable path (which needs bdist_wheel) is unavailable; this
+file enables the classic `setup.py develop` editable install."""
+
+from setuptools import setup
+
+setup()

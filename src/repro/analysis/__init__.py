@@ -1,0 +1,40 @@
+"""Analytic cost models (section 5.1) and empirical complexity checks."""
+
+from repro.analysis.complexity import (
+    ScalingPoint,
+    linear_fit_r2,
+    measure_matching_scaling,
+)
+from repro.analysis.report import BrokerReport, SystemReport, build_report, gini
+from repro.analysis.cost_model import (
+    ExpectedCounts,
+    aacs_size,
+    baseline_bandwidth,
+    expected_structure_counts,
+    expected_summary_size,
+    matching_step1_cost,
+    matching_step2_cost,
+    matching_total_cost,
+    sacs_size,
+    summary_size_from_stats,
+)
+
+__all__ = [
+    "BrokerReport",
+    "ExpectedCounts",
+    "ScalingPoint",
+    "SystemReport",
+    "aacs_size",
+    "build_report",
+    "baseline_bandwidth",
+    "expected_structure_counts",
+    "expected_summary_size",
+    "linear_fit_r2",
+    "matching_step1_cost",
+    "matching_step2_cost",
+    "matching_total_cost",
+    "gini",
+    "measure_matching_scaling",
+    "sacs_size",
+    "summary_size_from_stats",
+]

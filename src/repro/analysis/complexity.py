@@ -1,0 +1,96 @@
+"""Empirical complexity measurement for the section 5.2.4 claim.
+
+The paper argues the matching algorithm is O(N) in the number of
+subscriptions (T1 scan + T2 counter pass) — the "same complexity as
+competing approaches" — but expects constants to be better because rows
+generalize many subscriptions.  :func:`measure_matching_scaling` produces
+(N, seconds/event) points for both the summary matcher and the naive
+per-subscription matcher so tests (and the section-5.2.4 bench) can check
+linearity and the constant-factor gap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.summary.matching import NaiveMatcher
+from repro.summary.precision import Precision
+from repro.summary.summary import BrokerSummary
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["ScalingPoint", "measure_matching_scaling", "linear_fit_r2"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    subscriptions: int
+    summary_seconds: float
+    naive_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_seconds / self.summary_seconds if self.summary_seconds else 0.0
+
+
+def measure_matching_scaling(
+    sizes: Sequence[int],
+    events_per_size: int = 50,
+    config: WorkloadConfig = WorkloadConfig(),
+    seed: int = 0,
+    precision: Precision = Precision.COARSE,
+) -> List[ScalingPoint]:
+    """Time per-event matching at several subscription-table sizes."""
+    points: List[ScalingPoint] = []
+    for size in sizes:
+        generator = WorkloadGenerator(config, seed=seed)
+        schema = generator.schema
+        summary = BrokerSummary(schema, precision)
+        naive = NaiveMatcher()
+        for local_id, subscription in enumerate(generator.subscriptions(size)):
+            sid = SubscriptionId(
+                broker=0,
+                local_id=local_id,
+                attr_mask=schema.mask_of(subscription),
+            )
+            summary.add(subscription, sid)
+            naive.add(subscription, sid)
+        events = generator.events(events_per_size)
+        points.append(
+            ScalingPoint(
+                subscriptions=size,
+                summary_seconds=_time_per_event(summary.match, events),
+                naive_seconds=_time_per_event(naive.match, events),
+            )
+        )
+    return points
+
+
+def _time_per_event(matcher: Callable[[Event], object], events: Sequence[Event]) -> float:
+    start = time.perf_counter()
+    for event in events:
+        matcher(event)
+    return (time.perf_counter() - start) / len(events)
+
+
+def linear_fit_r2(points: Sequence[Tuple[float, float]]) -> float:
+    """R^2 of a least-squares line through (x, y) points — used to check
+    the O(N) claim empirically without pulling in scipy."""
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 1.0
+    return (sxy * sxy) / (sxx * syy)

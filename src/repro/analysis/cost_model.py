@@ -1,0 +1,181 @@
+"""The analytic cost model of paper section 5.1.
+
+Equation (1) — size of all AACS structures of one summary::
+
+    AACS = sum over arithmetic attributes i of
+             (2 * nsr_i + ne_i) * sst_i   # the two arrays (min,max columns)
+           + La_i * sid_i                 # the row id lists
+
+Equation (2) — size of all SACS structures::
+
+    SACS = sum over string attributes i of
+             nr_i * ssv_i                 # the pattern values
+           + Ls_i * sid_i                 # the row id lists
+
+Total per-broker bandwidth TB = AACS + SACS.
+
+The baseline broadcast bandwidth (section 5.2.1)::
+
+    (brokers - 1) x average hops x brokers x sigma x subscription size
+
+and the matching-time model (section 5.2.4)::
+
+    T1 = nae * max(nsr * La, ne * La) + nse * nr * Ls
+    T2 = P          (P = ids collected in step 1)
+
+Functions here come in two flavours: ``*_size`` computes the equations for
+given structure counts (including counts read off a real
+:class:`~repro.summary.summary.SummaryStats`), and ``expected_*`` predicts
+the counts from the Table-2 workload parameters, which is how the paper
+produced its curves.  Tests check prediction against measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.summary.summary import SummaryStats
+from repro.workload.config import WorkloadConfig
+
+__all__ = [
+    "aacs_size",
+    "sacs_size",
+    "summary_size_from_stats",
+    "expected_structure_counts",
+    "expected_summary_size",
+    "baseline_bandwidth",
+    "matching_step1_cost",
+    "matching_step2_cost",
+    "matching_total_cost",
+    "ExpectedCounts",
+]
+
+
+# -- equations (1) and (2) ------------------------------------------------------
+
+
+def aacs_size(nas: int, nsr: float, ne: float, la: float, sst: int, sid: int) -> float:
+    """Equation (1) with uniform per-attribute parameters."""
+    return nas * ((2.0 * nsr + ne) * sst + la * sid)
+
+
+def sacs_size(nss: int, nr: float, ls: float, ssv: int, sid: int) -> float:
+    """Equation (2) with uniform per-attribute parameters."""
+    return nss * (nr * ssv + ls * sid)
+
+
+def summary_size_from_stats(stats: SummaryStats, sst: int, sid: int) -> float:
+    """Equations (1)+(2) evaluated on *measured* structure counts.
+
+    ``stats`` already aggregates over attributes, so the per-attribute sums
+    collapse: ``(2*n_sr + n_e)*sst + arithmetic_ids*sid`` plus
+    ``string_value_bytes + string_ids*sid``.
+    """
+    arithmetic = (2.0 * stats.n_sr + stats.n_e) * sst + stats.arithmetic_id_entries * sid
+    strings = stats.string_value_bytes + stats.string_id_entries * sid
+    return arithmetic + strings
+
+
+# -- expected counts from the workload model ----------------------------------------
+
+
+@dataclass(frozen=True)
+class ExpectedCounts:
+    """Predicted structure counts for a summary of ``num_subscriptions``."""
+
+    nsr: float  # sub-range rows per arithmetic attribute
+    ne: float  # equality rows per arithmetic attribute
+    la: float  # id entries per arithmetic attribute
+    nr: float  # pattern rows per string attribute
+    ls: float  # id entries per string attribute
+
+
+def expected_structure_counts(
+    config: WorkloadConfig, num_subscriptions: int
+) -> ExpectedCounts:
+    """Predict per-attribute structure counts under the Table-2 model.
+
+    With subsumption probability q, a fraction q of the constraints on an
+    attribute fall into its ``nsr`` canonical ranges (or prefix families)
+    and merge; the remaining ``1 - q`` become individual equality rows.
+    Id-list entries are one per constraint regardless of merging.
+    """
+    per_arith = (
+        num_subscriptions * config.nas / config.num_arithmetic_attributes
+    )
+    per_string = (
+        num_subscriptions * config.nss / config.num_string_attributes
+    )
+    q = config.subsumption
+    return ExpectedCounts(
+        nsr=min(float(config.nsr), q * per_arith),
+        ne=(1.0 - q) * per_arith,
+        la=per_arith,
+        # String families collapse to at most nsr rows (+1 level of nested
+        # prefixes before substitution normalizes them).
+        nr=min(float(config.nsr), q * per_string) + (1.0 - q) * per_string,
+        ls=per_string,
+    )
+
+
+def expected_summary_size(
+    config: WorkloadConfig,
+    num_subscriptions: int,
+    sid: Optional[int] = None,
+) -> float:
+    """Predicted TB (equations (1)+(2)) for a broker summarizing
+    ``num_subscriptions`` subscriptions."""
+    counts = expected_structure_counts(config, num_subscriptions)
+    sid_size = config.sid if sid is None else sid
+    return aacs_size(
+        config.num_arithmetic_attributes,
+        counts.nsr,
+        counts.ne,
+        counts.la,
+        config.sst,
+        sid_size,
+    ) + sacs_size(
+        config.num_string_attributes, counts.nr, counts.ls, config.ssv, sid_size
+    )
+
+
+# -- baseline bandwidth --------------------------------------------------------------
+
+
+def baseline_bandwidth(
+    num_brokers: int, average_hops: float, sigma: int, subscription_size: int
+) -> float:
+    """The paper's broadcast cost: (brokers-1) x avg hops x brokers x sigma
+    x average subscription size."""
+    return (num_brokers - 1) * average_hops * num_brokers * sigma * subscription_size
+
+
+# -- matching cost (section 5.2.4) ------------------------------------------------------
+
+
+def matching_step1_cost(
+    nae: int, nsr: float, ne: float, la: float, nse: int, nr: float, ls: float
+) -> float:
+    """T1 = nae * max(nsr*La, ne*La) + nse * nr * Ls."""
+    return nae * max(nsr * la, ne * la) + nse * nr * ls
+
+
+def matching_step2_cost(collected: int) -> float:
+    """T2 = P, the number of ids collected in step 1."""
+    return float(collected)
+
+
+def matching_total_cost(
+    nae: int,
+    nsr: float,
+    ne: float,
+    la: float,
+    nse: int,
+    nr: float,
+    ls: float,
+    collected: int,
+) -> float:
+    return matching_step1_cost(nae, nsr, ne, la, nse, nr, ls) + matching_step2_cost(
+        collected
+    )

@@ -1,0 +1,5 @@
+"""The broadcast-everything baseline system."""
+
+from repro.baseline.broadcast import BroadcastPubSub
+
+__all__ = ["BroadcastPubSub"]

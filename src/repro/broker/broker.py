@@ -1,0 +1,195 @@
+"""The summary-centric broker (paper sections 3-4).
+
+A :class:`SummaryBroker` owns:
+
+* its clients' raw subscriptions (:class:`SubscriptionStore` — these never
+  leave the broker; they allocate ids and perform the exact re-check),
+* the *pending batch* of subscriptions accepted since the last propagation
+  period (the paper's sigma),
+* the *kept* multi-broker summary — its own subscriptions merged with every
+  summary received in past propagation periods — plus the matching
+  ``Merged_Brokers`` set, and
+* per-period propagation scratch state (Algorithm 2).
+
+Message handling is split by concern: :mod:`repro.broker.propagation`
+drives Algorithm 2 and :mod:`repro.broker.routing` implements Algorithm 3;
+this module is the broker state they act on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.summary.maintenance import SubscriptionStore
+from repro.summary.precision import Precision
+from repro.summary.summary import BrokerSummary
+
+__all__ = ["SummaryBroker", "DeliveryCallback"]
+
+#: Called when an event is delivered to a subscription's consumer:
+#: ``(broker_id, subscription_id, event)``.
+DeliveryCallback = Callable[[int, SubscriptionId, Event], None]
+
+
+class SummaryBroker:
+    """State of one broker in the summary-based system."""
+
+    def __init__(
+        self,
+        broker_id: int,
+        schema: Schema,
+        precision: Precision = Precision.COARSE,
+        on_delivery: Optional[DeliveryCallback] = None,
+    ):
+        self.broker_id = broker_id
+        self.schema = schema
+        self.precision = precision
+        self.store = SubscriptionStore(schema, broker_id)
+        self.on_delivery = on_delivery
+
+        #: Subscriptions accepted since the last propagation period.
+        self.pending: List[Tuple[SubscriptionId, Subscription]] = []
+
+        #: Own + everything received in past periods (what events match on).
+        self.kept_summary = BrokerSummary(schema, precision)
+        #: Brokers whose subscriptions are inside ``kept_summary``.
+        self.merged_brokers: Set[int] = {broker_id}
+
+        # -- per-period propagation scratch (Algorithm 2) --
+        self.delta_summary: Optional[BrokerSummary] = None
+        self.delta_brokers: Set[int] = set()
+        self.contacted: Set[int] = set()
+
+        # -- statistics --
+        self.deliveries: List[Tuple[SubscriptionId, Event]] = []
+        self.false_positive_notifies = 0
+        self.events_examined = 0
+        self.duplicates_suppressed = 0
+
+        # -- at-least-once tolerance: recently seen publish ids (LRU) --
+        self._routed_publishes: OrderedDict = OrderedDict()
+        self._delivered_publishes: OrderedDict = OrderedDict()
+        self._dedup_capacity = 4096
+
+    # -- subscription side ----------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> SubscriptionId:
+        """Accept a client subscription; it propagates at the next period."""
+        sid = self.store.subscribe(subscription)
+        self.pending.append((sid, subscription))
+        return sid
+
+    def unsubscribe(self, sid: SubscriptionId) -> bool:
+        """Drop a client subscription.
+
+        The id is removed from the local kept summary immediately; remote
+        kept summaries retain it until a full refresh period, but their
+        matches are harmless — the exact re-check here drops them.
+        """
+        if self.store.unsubscribe(sid) is None:
+            return False
+        self.pending = [(p_sid, p_sub) for p_sid, p_sub in self.pending if p_sid != sid]
+        self.kept_summary.remove(sid)
+        return True
+
+    # -- propagation-period state (driven by PropagationEngine) -----------------
+
+    def begin_period(self) -> None:
+        """Build the delta summary of this period's new subscriptions."""
+        delta = BrokerSummary(self.schema, self.precision)
+        for sid, subscription in self.pending:
+            delta.add(subscription, sid)
+        self.delta_summary = delta
+        self.delta_brokers = {self.broker_id}
+        self.contacted = set()
+
+    def absorb_summary(self, src: int, summary: BrokerSummary, brokers: Set[int]) -> None:
+        """Handle a received SummaryMessage: merge into the period delta."""
+        if self.delta_summary is None:
+            raise RuntimeError(
+                f"broker {self.broker_id} received a summary outside a "
+                f"propagation period"
+            )
+        self.delta_summary.merge(summary)
+        self.delta_brokers |= brokers
+        self.contacted.add(src)
+
+    def finish_period(self) -> None:
+        """Fold the period's delta into the kept multi-broker summary."""
+        if self.delta_summary is None:
+            return
+        self.kept_summary.merge(self.delta_summary)
+        self.merged_brokers |= self.delta_brokers
+        self.delta_summary = None
+        self.delta_brokers = set()
+        self.pending = []
+
+    def rebuild_own_summary(self) -> BrokerSummary:
+        """A fresh summary of all currently stored subscriptions (used by
+        full-refresh periods after heavy unsubscription churn)."""
+        return self.store.build_summary(self.precision)
+
+    def reset_merged_state(self) -> None:
+        """Forget remote knowledge (full-refresh support): the kept summary
+        restarts from the local store."""
+        self.kept_summary = self.rebuild_own_summary()
+        self.merged_brokers = {self.broker_id}
+        self.pending = []
+
+    # -- event side -------------------------------------------------------------
+
+    def first_routing_of(self, publish_id: int) -> bool:
+        """Whether this broker has NOT yet run the routing step for this
+        publish (duplicate EVENT messages return False and are dropped).
+        ``publish_id == 0`` (unidentified) always counts as first."""
+        if publish_id == 0:
+            return True
+        if publish_id in self._routed_publishes:
+            self.duplicates_suppressed += 1
+            return False
+        self._remember(self._routed_publishes, publish_id)
+        return True
+
+    def _remember(self, table: OrderedDict, publish_id: int) -> None:
+        table[publish_id] = None
+        if len(table) > self._dedup_capacity:
+            table.popitem(last=False)
+
+    def match_kept(self, event: Event) -> Set[SubscriptionId]:
+        """Match an event against the kept multi-broker summary."""
+        self.events_examined += 1
+        return self.kept_summary.match(event)
+
+    def deliver(
+        self, sids: Set[SubscriptionId], event: Event, publish_id: int = 0
+    ) -> Set[SubscriptionId]:
+        """Owner-side delivery: exact re-check, then hand to consumers.
+
+        Returns the confirmed ids; the difference is the COARSE false
+        positives (or ids unsubscribed since the summary was propagated).
+        Duplicate notifications for an already-delivered publish are
+        suppressed (at-least-once transport tolerance).
+        """
+        if publish_id:
+            if publish_id in self._delivered_publishes:
+                self.duplicates_suppressed += 1
+                return set()
+            self._remember(self._delivered_publishes, publish_id)
+        confirmed = self.store.recheck(event, sids)
+        self.false_positive_notifies += len(sids) - len(confirmed)
+        for sid in sorted(confirmed):
+            self.deliveries.append((sid, event))
+            if self.on_delivery is not None:
+                self.on_delivery(self.broker_id, sid, event)
+        return confirmed
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryBroker(id={self.broker_id}, subs={len(self.store)}, "
+            f"knows={sorted(self.merged_brokers)})"
+        )

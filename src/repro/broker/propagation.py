@@ -1,0 +1,147 @@
+"""Algorithm 2 — subscription summary propagation (paper section 4.2).
+
+The process runs in ``MAX_DEGREE`` iterations.  At iteration ``i`` every
+broker whose overlay degree equals ``i``:
+
+1. merges its own (delta) summary with all summaries received in previous
+   iterations, updating its ``Merged_Brokers`` set, and
+2. sends the merged summary plus ``Merged_Brokers`` to ONE neighbor it has
+   not communicated with in any previous iteration, restricted to neighbors
+   of equal or higher degree and preferring the smallest such degree
+   (ties broken by smallest broker id, making runs deterministic).
+
+A broker with no eligible neighbor (every equal-or-higher-degree neighbor
+already contacted, or none exists — the maximum-degree broker, or hub
+patterns in non-tree overlays) simply does not send; the knowledge
+fragmentation this leaves is intentional and is what the BROCLI list in
+Algorithm 3 compensates for during event routing.
+
+Each broker therefore transmits at most once per period, which is why the
+paper observes that full propagation "always requires a number of hops that
+is smaller than the number of brokers in the system".
+
+**Target-selection policy.**  When several eligible neighbors exist the
+paper's text prefers "the one with the smallest degree" — a load-balancing
+hint.  On mesh overlays (unlike the paper's figure-7 tree) that preference
+routes summaries *away* from hubs and strands knowledge in many small
+clusters, which lengthens the figure-10 BROCLI chains beyond anything
+consistent with the paper's own reported results.  The engine therefore
+supports both policies (:class:`TargetPolicy`); ``HIGHEST_DEGREE`` is the
+default used by the experiments, ``SMALLEST_DEGREE`` is the literal paper
+text, and ``benchmarks/test_ablation_policy.py`` quantifies the gap.  See
+DESIGN.md section 5.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.broker.broker import SummaryBroker
+from repro.network.simulator import Network
+from repro.wire.messages import Message, SummaryMessage
+
+__all__ = ["PropagationEngine", "TargetPolicy"]
+
+
+class TargetPolicy(enum.Enum):
+    """Which eligible neighbor receives the merged summary."""
+
+    HIGHEST_DEGREE = "highest"  # funnel towards hubs (experiment default)
+    SMALLEST_DEGREE = "smallest"  # the paper's literal load-balancing hint
+
+
+class PropagationEngine:
+    """Drives Algorithm 2 over a simulated network of summary brokers."""
+
+    def __init__(
+        self,
+        network: Network,
+        brokers: Dict[int, SummaryBroker],
+        policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+    ):
+        if set(brokers) != set(network.topology.brokers):
+            raise ValueError("need exactly one broker object per topology node")
+        self.network = network
+        self.brokers = brokers
+        self.policy = policy
+        self.periods_run = 0
+
+    # -- the period ------------------------------------------------------------
+
+    def run_period(self) -> None:
+        """One full propagation period over the pending subscription batches."""
+        topology = self.network.topology
+        for broker in self.brokers.values():
+            broker.begin_period()
+        for iteration in range(1, topology.max_degree + 1):
+            for broker_id in topology.brokers_by_degree(iteration):
+                self._act(self.brokers[broker_id])
+            # Deliver this iteration's messages before the next degree class
+            # acts — receivers fold them into their deltas via receive().
+            self.network.flush_iteration()
+        for broker in self.brokers.values():
+            broker.finish_period()
+        self.periods_run += 1
+
+    def _act(self, broker: SummaryBroker) -> None:
+        """Steps 1-2 of Algorithm 2 for one broker at its iteration."""
+        assert broker.delta_summary is not None, "begin_period() not called"
+        target = self._select_target(broker)
+        if target is None:
+            return
+        message = SummaryMessage(
+            summary=broker.delta_summary.copy(),
+            merged_brokers=frozenset(broker.delta_brokers),
+        )
+        broker.contacted.add(target)
+        self.network.send(broker.broker_id, target, message)
+
+    def _select_target(self, broker: SummaryBroker) -> Optional[int]:
+        """The not-yet-contacted neighbor of equal-or-higher degree
+        preferred by the configured policy (smallest id on ties), or None."""
+        topology = self.network.topology
+        own_degree = topology.degree(broker.broker_id)
+        candidates = [
+            neighbor
+            for neighbor in topology.neighbors(broker.broker_id)
+            if neighbor not in broker.contacted
+            and topology.degree(neighbor) >= own_degree
+        ]
+        if not candidates:
+            return None
+        if self.policy is TargetPolicy.SMALLEST_DEGREE:
+            return min(candidates, key=lambda nb: (topology.degree(nb), nb))
+        return min(candidates, key=lambda nb: (-topology.degree(nb), nb))
+
+    # -- full refresh ---------------------------------------------------------------
+
+    def run_full_refresh(self) -> None:
+        """Re-propagate *complete* summaries from scratch.
+
+        Used after unsubscription churn: remote kept summaries cannot shed
+        removed ids incrementally (COARSE rows forget boundaries), so a
+        refresh period rebuilds every broker's summary from its raw store
+        and replaces all remote knowledge.
+        """
+        for broker in self.brokers.values():
+            broker.reset_merged_state()
+            # The full store contents become this period's "new" batch.
+            broker.pending = [
+                (sid, subscription) for sid, subscription in broker.store.items()
+            ]
+            # reset_merged_state() already folded the store into the kept
+            # summary; begin_period() will rebuild the delta from pending.
+        self.run_period()
+
+    # -- message handling (called by the system's dispatch) ---------------------------
+
+    def handle_message(self, dst: int, src: int, message: Message) -> bool:
+        """Route a SummaryMessage to its broker; returns False for other
+        message kinds so the caller can try the event-routing handler."""
+        if not isinstance(message, SummaryMessage):
+            return False
+        self.brokers[dst].absorb_summary(
+            src, message.summary, set(message.merged_brokers)
+        )
+        return True

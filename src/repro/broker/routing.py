@@ -1,0 +1,135 @@
+"""Algorithm 3 — distributed event processing (paper section 4.3).
+
+Each broker that an event visits:
+
+1. checks its local merged (kept) summary for matches,
+2. updates the event's ``BROCLI`` list — the brokers whose subscriptions
+   have already been examined — by adding its ``Merged_Brokers`` set,
+3. forwards the event (as a :class:`NotifyMessage`) to every broker that
+   owns matched subscriptions, identified by the ``c1`` field of the ids,
+4. if ``BROCLI`` does not yet contain all brokers, forwards the event plus
+   the updated ``BROCLI`` to the highest-degree broker not yet in it
+   (ties broken by smallest id).
+
+Matched ids whose owner is already in the *incoming* BROCLI are skipped:
+that owner's subscriptions were examined (and notified) by an earlier hop,
+so re-notifying would deliver duplicates when visited brokers have
+overlapping knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.broker.broker import SummaryBroker
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.network.simulator import Network
+from repro.wire.messages import EventMessage, Message, NotifyMessage
+
+__all__ = ["EventRouter"]
+
+
+class EventRouter:
+    """Drives Algorithm 3 over a simulated network of summary brokers.
+
+    Every publish gets a unique ``publish_id`` carried by its EVENT and
+    NOTIFY messages; brokers remember recently-seen ids so duplicated
+    messages (at-least-once transports, see
+    :class:`repro.network.faults.LossyNetwork`) neither re-forward the
+    search nor re-deliver to consumers.
+    """
+
+    def __init__(self, network: Network, brokers: Dict[int, SummaryBroker]):
+        self.network = network
+        self.brokers = brokers
+        self._all_brokers: FrozenSet[int] = frozenset(network.topology.brokers)
+        self._publish_sequence = 0
+
+    # -- entry points --------------------------------------------------------
+
+    def publish(self, broker_id: int, event: Event) -> None:
+        """Inject a producer's event at its attached broker and run the
+        distributed processing to completion."""
+        self._publish_sequence += 1
+        publish_id = (broker_id << 40) | self._publish_sequence
+        self.process_event(self.brokers[broker_id], event, frozenset(), publish_id)
+        self.network.run()
+
+    def handle_message(self, dst: int, src: int, message: Message) -> bool:
+        """Dispatch EVENT and NOTIFY messages; False for other kinds."""
+        broker = self.brokers[dst]
+        if isinstance(message, EventMessage):
+            self.process_event(
+                broker, message.event, message.brocli, message.publish_id
+            )
+            return True
+        if isinstance(message, NotifyMessage):
+            broker.deliver(
+                set(message.matched), message.event, publish_id=message.publish_id
+            )
+            return True
+        return False
+
+    # -- Algorithm 3 at one broker ----------------------------------------------
+
+    def process_event(
+        self,
+        broker: SummaryBroker,
+        event: Event,
+        brocli_in: FrozenSet[int],
+        publish_id: int = 0,
+    ) -> None:
+        # Duplicate suppression: this broker already ran the search step
+        # for this publish (a redelivered EVENT message).
+        if not broker.first_routing_of(publish_id):
+            return
+        # Step 1: check the local merged summary.
+        matched = broker.match_kept(event)
+        # Step 2: update BROCLI with this broker's Merged_Brokers (which
+        # includes its own id).
+        brocli = brocli_in | broker.merged_brokers | {broker.broker_id}
+        # Step 3: notify owners — but only those not examined upstream.
+        fresh = {sid for sid in matched if sid.broker not in brocli_in}
+        self._notify_owners(broker, event, fresh, publish_id)
+        # Step 4: keep searching until every broker has been examined.
+        if brocli != self._all_brokers:
+            target = self._next_router(brocli, broker.broker_id)
+            self.network.send(
+                broker.broker_id,
+                target,
+                EventMessage(event=event, brocli=brocli, publish_id=publish_id),
+            )
+
+    def _notify_owners(
+        self,
+        broker: SummaryBroker,
+        event: Event,
+        matched: Set[SubscriptionId],
+        publish_id: int,
+    ) -> None:
+        by_owner: Dict[int, Set[SubscriptionId]] = {}
+        for sid in matched:
+            by_owner.setdefault(sid.broker, set()).add(sid)
+        for owner, sids in sorted(by_owner.items()):
+            if owner == broker.broker_id:
+                broker.deliver(sids, event, publish_id=publish_id)
+            else:
+                self.network.send(
+                    broker.broker_id,
+                    owner,
+                    NotifyMessage(
+                        event=event, matched=frozenset(sids), publish_id=publish_id
+                    ),
+                )
+
+    def _next_router(self, brocli: FrozenSet[int], origin: int) -> int:
+        """The highest-degree broker not yet examined (smallest id on ties).
+
+        ``origin`` is the broker doing the forwarding; the base policy
+        ignores it, but locality-aware subclasses route within the
+        origin's region first (see :mod:`repro.ext.locality`)."""
+        topology = self.network.topology
+        remaining = [b for b in topology.brokers if b not in brocli]
+        assert remaining, "caller guarantees BROCLI is incomplete"
+        return max(remaining, key=lambda b: (topology.degree(b), -b))

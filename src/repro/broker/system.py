@@ -1,0 +1,259 @@
+"""The summary-based publish/subscribe system facade.
+
+:class:`SummaryPubSub` wires together the whole paper stack — schema, id
+codec, wire codec, overlay network, one :class:`SummaryBroker` per node,
+the Algorithm-2 propagation engine and the Algorithm-3 event router — and
+exposes the four operations a deployment needs::
+
+    system = SummaryPubSub(topology=cable_wireless_24(), schema=stock_schema())
+    sid = system.subscribe(broker_id=3, subscription=sub)
+    system.run_propagation_period()
+    result = system.publish(broker_id=17, event=event)
+    assert (3, sid) in {(d.broker, d.sid) for d in result.deliveries}
+
+Propagation-phase and event-phase traffic is accounted in separate
+:class:`NetworkMetrics` so experiments can report them independently
+(figures 8/9 versus figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.broker.broker import SummaryBroker
+from repro.broker.propagation import PropagationEngine, TargetPolicy
+from repro.broker.routing import EventRouter
+from repro.model.events import Event
+from repro.model.ids import IdCodec, SubscriptionId
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.network.latency import LatencyModel, TimedNetwork
+from repro.network.metrics import NetworkMetrics
+from repro.network.simulator import Network
+from repro.network.topology import Topology
+from repro.summary.precision import Precision
+from repro.wire.codec import ValueWidth, WireCodec
+from repro.wire.messages import Message, MessageCodec
+
+__all__ = ["SummaryPubSub", "Delivery", "PublishResult"]
+
+#: Default ``c2`` capacity: the paper sizes ids for ~1M outstanding
+#: subscriptions per broker (20 bits).
+DEFAULT_MAX_SUBSCRIPTIONS = 1 << 20
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One event handed to one consumer's Event Displayer.
+
+    ``at`` is the simulation-clock timestamp (ms) when the system runs on
+    a :class:`~repro.network.latency.TimedNetwork`; None otherwise.
+    """
+
+    broker: int
+    sid: SubscriptionId
+    event: Event
+    at: Optional[float] = None
+
+
+@dataclass
+class PublishResult:
+    """What one publish cost and who received it."""
+
+    deliveries: List[Delivery]
+    hops: int
+    messages: int
+    bytes_sent: int
+    #: publish-to-last-delivery time (ms) on a TimedNetwork; None otherwise.
+    latency_ms: Optional[float] = None
+
+    @property
+    def matched_brokers(self) -> Set[int]:
+        return {delivery.broker for delivery in self.deliveries}
+
+
+class _Dispatcher:
+    """Per-broker network handler delegating to the two engines."""
+
+    def __init__(self, system: "SummaryPubSub", broker_id: int):
+        self._system = system
+        self._broker_id = broker_id
+
+    def receive(self, src: int, message: Message) -> None:
+        self._system._dispatch(self._broker_id, src, message)
+
+
+class SummaryPubSub:
+    """The complete summary-centric pub/sub system on a simulated overlay."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        schema: Schema,
+        precision: Precision = Precision.COARSE,
+        value_width: ValueWidth = ValueWidth.F32,
+        max_subscriptions: int = DEFAULT_MAX_SUBSCRIPTIONS,
+        propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+        latency: Optional[LatencyModel] = None,
+        network_cls: Optional[type] = None,
+        network_options: Optional[Dict] = None,
+    ):
+        self.topology = topology
+        self.schema = schema
+        self.precision = precision
+        self.id_codec = IdCodec(
+            num_brokers=topology.num_brokers,
+            max_subscriptions=max_subscriptions,
+            num_attributes=len(schema),
+        )
+        self.wire = WireCodec(schema, self.id_codec, value_width)
+        self.message_codec = MessageCodec(self.wire)
+
+        self.propagation_metrics = NetworkMetrics()
+        self.event_metrics = NetworkMetrics()
+        if latency is not None and network_cls is not None:
+            raise ValueError("pass either latency or network_cls, not both")
+        if latency is not None:
+            self.network: Network = TimedNetwork(
+                topology, self.message_codec, self.propagation_metrics, latency
+            )
+        elif network_cls is not None:
+            self.network = network_cls(
+                topology,
+                self.message_codec,
+                self.propagation_metrics,
+                **(network_options or {}),
+            )
+        else:
+            self.network = Network(topology, self.message_codec, self.propagation_metrics)
+
+        self._delivery_log: List[Delivery] = []
+        self._delivery_listeners: List = []
+        self.brokers: Dict[int, SummaryBroker] = {}
+        for broker_id in topology.brokers:
+            broker = self._create_broker(broker_id)
+            self.brokers[broker_id] = broker
+            self.network.attach(broker_id, _Dispatcher(self, broker_id))
+
+        self.propagation = PropagationEngine(
+            self.network, self.brokers, policy=propagation_policy
+        )
+        self.router = EventRouter(self.network, self.brokers)
+
+    def _create_broker(self, broker_id: int) -> SummaryBroker:
+        """Broker factory — extension systems override this hook."""
+        return SummaryBroker(
+            broker_id, self.schema, self.precision, on_delivery=self._record_delivery
+        )
+
+    # -- client operations -------------------------------------------------------
+
+    def subscribe(self, broker_id: int, subscription: Subscription) -> SubscriptionId:
+        return self.brokers[broker_id].subscribe(subscription)
+
+    def unsubscribe(self, broker_id: int, sid: SubscriptionId) -> bool:
+        return self.brokers[broker_id].unsubscribe(sid)
+
+    def run_propagation_period(self) -> Dict[str, int]:
+        """Propagate pending batches (Algorithm 2); returns the phase's
+        cumulative metric snapshot."""
+        self.network.metrics = self.propagation_metrics
+        self.propagation.run_period()
+        return self.propagation_metrics.snapshot()
+
+    def run_full_refresh(self) -> Dict[str, int]:
+        """Rebuild and re-propagate complete summaries (post-churn)."""
+        self.network.metrics = self.propagation_metrics
+        self.propagation.run_full_refresh()
+        return self.propagation_metrics.snapshot()
+
+    def publish(self, broker_id: int, event: Event) -> PublishResult:
+        """Inject an event (Algorithm 3) and run it to completion."""
+        self.schema.validate_event(event)
+        self.network.metrics = self.event_metrics
+        before = self.event_metrics.snapshot()
+        mark = len(self._delivery_log)
+        start = getattr(self.network, "now", None)
+        self.router.publish(broker_id, event)
+        after = self.event_metrics.snapshot()
+        deliveries = self._delivery_log[mark:]
+        latency_ms = None
+        if start is not None and deliveries:
+            stamps = [d.at for d in deliveries if d.at is not None]
+            if stamps:
+                latency_ms = max(stamps) - start
+        return PublishResult(
+            deliveries=deliveries,
+            hops=after["hops"] - before["hops"],
+            messages=after["messages"] - before["messages"],
+            bytes_sent=after["bytes_sent"] - before["bytes_sent"],
+            latency_ms=latency_ms,
+        )
+
+    # -- measurement helpers ------------------------------------------------------
+
+    def total_summary_storage(self) -> int:
+        """Total bytes of kept (multi-broker) summaries across all brokers —
+        the storage metric of figure 11."""
+        return sum(
+            self.wire.summary_size(broker.kept_summary)
+            for broker in self.brokers.values()
+        )
+
+    def storage_breakdown(self) -> Dict[int, int]:
+        return {
+            broker_id: self.wire.summary_size(broker.kept_summary)
+            for broker_id, broker in self.brokers.items()
+        }
+
+    def ground_truth_matches(self, event: Event) -> Set[Tuple[int, SubscriptionId]]:
+        """Every (broker, sid) whose raw subscription matches the event —
+        the oracle the routed deliveries must equal exactly."""
+        matches: Set[Tuple[int, SubscriptionId]] = set()
+        for broker_id, broker in self.brokers.items():
+            for sid, subscription in broker.store.items():
+                if subscription.matches(event):
+                    matches.add((broker_id, sid))
+        return matches
+
+    @property
+    def delivery_log(self) -> List[Delivery]:
+        return list(self._delivery_log)
+
+    # -- internals -------------------------------------------------------------------
+
+    # -- delivery fan-out -----------------------------------------------------------
+
+    def add_delivery_listener(self, listener) -> None:
+        """Register a callable invoked as ``listener(delivery)`` for every
+        delivery — how Event Displayers (consumers) hear about events."""
+        self._delivery_listeners.append(listener)
+
+    def remove_delivery_listener(self, listener) -> None:
+        self._delivery_listeners.remove(listener)
+
+    def _record_delivery(self, broker_id: int, sid: SubscriptionId, event: Event) -> None:
+        delivery = Delivery(
+            broker=broker_id,
+            sid=sid,
+            event=event,
+            at=getattr(self.network, "now", None),
+        )
+        self._delivery_log.append(delivery)
+        for listener in self._delivery_listeners:
+            listener(delivery)
+
+    def _dispatch(self, dst: int, src: int, message: Message) -> None:
+        if self.propagation.handle_message(dst, src, message):
+            return
+        if self.router.handle_message(dst, src, message):
+            return
+        raise TypeError(f"unhandled message type {type(message).__name__}")
+
+    def __repr__(self) -> str:
+        total = sum(len(broker.store) for broker in self.brokers.values())
+        return (
+            f"SummaryPubSub({self.topology.num_brokers} brokers, "
+            f"{total} subscriptions, {self.precision.value})"
+        )

@@ -1,0 +1,7 @@
+"""Client entities of the paper's figure-1 architecture: Event Sources
+(producers) and Event Displayers (consumers)."""
+
+from repro.clients.consumer import Consumer
+from repro.clients.producer import Producer
+
+__all__ = ["Consumer", "Producer"]

@@ -1,0 +1,155 @@
+"""Consumers — the Event Displayers of the paper's figure-1 architecture.
+
+"If a user's subscription matches an event, it is forwarded to the Event
+Displayer for that user.  The Event Displayer is responsible for alerting
+the user."  A :class:`Consumer` attaches to one broker, registers the
+user's interests (objects or the textual constraint notation), and either
+invokes a callback per matching event or queues them in an inbox.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.broker.system import Delivery, SummaryPubSub
+from repro.model.composite import Query, parse_query
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.parser import parse_subscription
+from repro.model.subscriptions import Subscription
+
+__all__ = ["Consumer", "QueryHandle"]
+
+
+class QueryHandle:
+    """A registered composite (OR) query: one sid per DNF branch."""
+
+    __slots__ = ("query", "sids")
+
+    def __init__(self, query: Query, sids: Tuple[SubscriptionId, ...]):
+        self.query = query
+        self.sids = sids
+
+    def branch_of(self, sid: SubscriptionId) -> int:
+        return self.sids.index(sid)
+
+    def __repr__(self) -> str:
+        return f"QueryHandle({len(self.sids)} branches)"
+
+#: Called per matching event: ``callback(consumer, sid, event)``.
+ConsumerCallback = Callable[["Consumer", SubscriptionId, Event], None]
+
+
+class Consumer:
+    """A user's Event Displayer attached to one broker."""
+
+    def __init__(
+        self,
+        system: SummaryPubSub,
+        broker_id: int,
+        name: Optional[str] = None,
+        on_event: Optional[ConsumerCallback] = None,
+    ):
+        if broker_id not in system.topology.brokers:
+            raise ValueError(f"no broker {broker_id} in the system")
+        self.system = system
+        self.broker_id = broker_id
+        self.name = name if name is not None else f"consumer@{broker_id}"
+        self.on_event = on_event
+        self._subscriptions: Dict[SubscriptionId, Subscription] = {}
+        self._queries: Dict[SubscriptionId, QueryHandle] = {}
+        self.inbox: List[Tuple[SubscriptionId, Event]] = []
+        self._closed = False
+        system.add_delivery_listener(self._on_delivery)
+
+    # -- interests -----------------------------------------------------------
+
+    def subscribe(self, interest: Union[Subscription, str]) -> SubscriptionId:
+        """Register an interest (a Subscription or its textual form)."""
+        self._check_open()
+        if isinstance(interest, str):
+            interest = parse_subscription(self.system.schema, interest)
+        sid = self.system.subscribe(self.broker_id, interest)
+        self._subscriptions[sid] = interest
+        return sid
+
+    def unsubscribe(self, sid: SubscriptionId) -> bool:
+        self._check_open()
+        if sid not in self._subscriptions:
+            return False
+        del self._subscriptions[sid]
+        return self.system.unsubscribe(self.broker_id, sid)
+
+    def subscribe_query(self, query: Union[Query, str]) -> QueryHandle:
+        """Register an OR query: one subscription per DNF branch, with
+        exactly one alert per matching event (first-branch attribution)."""
+        self._check_open()
+        if isinstance(query, str):
+            query = parse_query(self.system.schema, query)
+        sids = tuple(self.subscribe(branch) for branch in query.branches)
+        handle = QueryHandle(query, sids)
+        for sid in sids:
+            self._queries[sid] = handle
+        return handle
+
+    def unsubscribe_query(self, handle: QueryHandle) -> bool:
+        self._check_open()
+        found = False
+        for sid in handle.sids:
+            if self._queries.pop(sid, None) is not None:
+                found = True
+            self.unsubscribe(sid)
+        return found
+
+    @property
+    def subscriptions(self) -> Dict[SubscriptionId, Subscription]:
+        return dict(self._subscriptions)
+
+    # -- receiving ---------------------------------------------------------------
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        if delivery.broker != self.broker_id or delivery.sid not in self._subscriptions:
+            return
+        handle = self._queries.get(delivery.sid)
+        if handle is not None and not handle.query.is_attributed_to(
+            delivery.event, handle.branch_of(delivery.sid)
+        ):
+            return  # another branch of the same query already alerted
+        if self.on_event is not None:
+            self.on_event(self, delivery.sid, delivery.event)
+        else:
+            self.inbox.append((delivery.sid, delivery.event))
+
+    def drain(self) -> List[Tuple[SubscriptionId, Event]]:
+        """Take and clear everything currently in the inbox."""
+        taken, self.inbox = self.inbox, []
+        return taken
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self, unsubscribe: bool = True) -> None:
+        """Detach from the system (idempotent).  By default the user's
+        interests are withdrawn too."""
+        if self._closed:
+            return
+        if unsubscribe:
+            for sid in list(self._subscriptions):
+                self.unsubscribe(sid)
+        self.system.remove_delivery_listener(self._on_delivery)
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{self.name} is closed")
+
+    def __enter__(self) -> "Consumer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Consumer({self.name!r}, broker {self.broker_id}, "
+            f"{len(self._subscriptions)} interests, {len(self.inbox)} queued)"
+        )

@@ -1,0 +1,68 @@
+"""Producers — the Event Sources of the paper's figure-1 architecture.
+
+"An Event Source produces events, say, in response to changes to a real
+world variable that it monitors."  A :class:`Producer` attaches to one
+broker and publishes events (objects or keyword values); on an
+advertisement-enabled system it can also declare its event space first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.broker.system import PublishResult, SummaryPubSub
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.parser import parse_subscription
+from repro.model.subscriptions import Subscription
+
+__all__ = ["Producer"]
+
+
+class Producer:
+    """An Event Source attached to one broker."""
+
+    def __init__(
+        self,
+        system: SummaryPubSub,
+        broker_id: int,
+        name: Optional[str] = None,
+    ):
+        if broker_id not in system.topology.brokers:
+            raise ValueError(f"no broker {broker_id} in the system")
+        self.system = system
+        self.broker_id = broker_id
+        self.name = name if name is not None else f"producer@{broker_id}"
+        self.published = 0
+
+    def publish(self, event: Optional[Event] = None, **values) -> PublishResult:
+        """Publish an :class:`Event`, or build one from keyword values."""
+        if event is None:
+            if not values:
+                raise ValueError("publish needs an Event or keyword values")
+            event = Event.of(**values)
+        elif values:
+            raise ValueError("pass an Event or keyword values, not both")
+        result = self.system.publish(self.broker_id, event)
+        self.published += 1
+        return result
+
+    def advertise(self, space: Union[Subscription, str]) -> SubscriptionId:
+        """Declare the event space this producer will publish.
+
+        Only meaningful on an advertisement-enabled system
+        (:class:`repro.ext.advertisements.AdvertisingPubSub`); on a plain
+        system this raises, loudly, rather than silently doing nothing.
+        """
+        advertise = getattr(self.system, "advertise", None)
+        if advertise is None:
+            raise TypeError(
+                "this system does not support advertisements; build an "
+                "AdvertisingPubSub to use Producer.advertise"
+            )
+        if isinstance(space, str):
+            space = parse_subscription(self.system.schema, space)
+        return advertise(self.broker_id, space)
+
+    def __repr__(self) -> str:
+        return f"Producer({self.name!r}, broker {self.broker_id}, {self.published} published)"

@@ -1,0 +1,39 @@
+"""Experiment drivers — one module per paper figure/table.
+
+See DESIGN.md's per-experiment index for the figure -> module -> bench
+mapping, and EXPERIMENTS.md for recorded paper-vs-measured results.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported driver modules)
+    churn,
+    export,
+    federation,
+    fig8_bandwidth,
+    fig9_prop_hops,
+    fig10_event_hops,
+    fig11_storage,
+    latency,
+    robustness,
+    scale,
+    sensitivity,
+    tables,
+)
+from repro.experiments.common import ExperimentResult, format_table, geometric_ratio
+
+__all__ = [
+    "ExperimentResult",
+    "churn",
+    "export",
+    "federation",
+    "latency",
+    "robustness",
+    "scale",
+    "sensitivity",
+    "fig8_bandwidth",
+    "fig9_prop_hops",
+    "fig10_event_hops",
+    "fig11_storage",
+    "format_table",
+    "geometric_ratio",
+    "tables",
+]

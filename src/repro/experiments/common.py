@@ -1,0 +1,83 @@
+"""Shared infrastructure for the figure/table reproduction drivers.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` returning
+the same rows/series the paper's figure reports, plus a ``main()`` that
+prints them as an aligned text table.  ``quick=True`` (the default for
+tests and benches) shrinks sweep sizes while preserving every qualitative
+claim; ``quick=False`` runs the paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["ExperimentResult", "format_table", "geometric_ratio"]
+
+Cell = Union[int, float, str]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced figure/table."""
+
+    name: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Cell) -> None:
+        missing = set(self.columns) - set(cells)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(dict(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        return [row[name] for row in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = list(result.columns)
+    body = [[_format_cell(row[col]) for col in header] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {result.name} ==", result.description]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def geometric_ratio(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Geometric mean of pointwise ratios — how figures summarize 'X times
+    better' claims across a sweep."""
+    if len(numerators) != len(denominators) or not numerators:
+        raise ValueError("need equal-length, non-empty series")
+    product = 1.0
+    for numerator, denominator in zip(numerators, denominators):
+        if denominator <= 0 or numerator <= 0:
+            raise ValueError("ratios need positive values")
+        product *= numerator / denominator
+    return product ** (1.0 / len(numerators))

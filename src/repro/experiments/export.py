@@ -1,0 +1,73 @@
+"""Result export: CSV and JSON serialization of experiment tables.
+
+Figures are regenerated programmatically (``repro-experiments``), but
+downstream analysis — plotting, regression tracking across commits,
+comparison against the paper's reported points — wants machine-readable
+output.  ``export_csv``/``export_json`` write any
+:class:`~repro.experiments.common.ExperimentResult`, and
+``write_report`` dumps a whole run into a directory, one file per
+experiment plus a manifest.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["export_csv", "export_json", "write_report"]
+
+PathLike = Union[str, Path]
+
+
+def export_csv(result: ExperimentResult) -> str:
+    """The result's rows as CSV text (header row first)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=result.columns, lineterminator="\n")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({column: row[column] for column in result.columns})
+    return buffer.getvalue()
+
+
+def export_json(result: ExperimentResult) -> str:
+    """The full result (metadata + rows + notes) as pretty JSON."""
+    payload = {
+        "name": result.name,
+        "description": result.description,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _slug(name: str) -> str:
+    return "".join(ch.lower() if ch.isalnum() else "-" for ch in name).strip("-")
+
+
+def write_report(results: Iterable[ExperimentResult], directory: PathLike) -> List[Path]:
+    """Write one ``<slug>.csv`` + ``<slug>.json`` per result, plus a
+    ``manifest.json`` listing everything written.  Returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    manifest: List[Dict[str, str]] = []
+    for result in results:
+        slug = _slug(result.name)
+        csv_path = target / f"{slug}.csv"
+        json_path = target / f"{slug}.json"
+        csv_path.write_text(export_csv(result))
+        json_path.write_text(export_json(result))
+        written.extend([csv_path, json_path])
+        manifest.append(
+            {"name": result.name, "csv": csv_path.name, "json": json_path.name}
+        )
+    manifest_path = target / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    written.append(manifest_path)
+    return written

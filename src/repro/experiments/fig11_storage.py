@@ -1,0 +1,107 @@
+"""Figure 11 — total subscription storage across all brokers.
+
+Sweep: outstanding subscriptions per broker (S) from 10 to 1000, at
+subsumption probabilities 10% and 90%.  Series:
+
+* ``broadcast``  — every broker stores every subscription:
+  ``brokers x (brokers x S) x subscription size``;
+* ``siena@q``    — probabilistic model: a broker stores its own plus every
+  foreign subscription that survived pruning on its way in;
+* ``summary@q``  — measured: total encoded size of the kept (multi-broker)
+  summaries across all brokers after a full propagation of S
+  subscriptions per broker.
+
+Paper's claims to reproduce: summaries beat Siena by ~2-5x; at low
+subsumption Siena approaches the broadcast baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.broker.system import SummaryPubSub
+from repro.experiments.common import ExperimentResult
+from repro.network.backbone import cable_wireless_24
+from repro.network.topology import Topology
+from repro.siena.probmodel import SienaProbModel
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["run", "measure_summary_storage", "QUICK_SIZES", "FULL_SIZES"]
+
+QUICK_SIZES: Tuple[int, ...] = (10, 100, 1000)
+FULL_SIZES: Tuple[int, ...] = (10, 50, 100, 250, 500, 750, 1000)
+
+
+def measure_summary_storage(
+    topology: Topology,
+    outstanding: int,
+    subsumption: float,
+    seed: int = 0,
+) -> Tuple[int, float]:
+    """(total kept-summary bytes, mean encoded subscription size)."""
+    config = WorkloadConfig(outstanding=outstanding, subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=seed)
+    system = SummaryPubSub(topology, generator.schema)
+    sample_bytes = 0
+    sample_count = 0
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(outstanding):
+            system.subscribe(broker_id, subscription)
+            if sample_count < 200:
+                sample_bytes += system.wire.subscription_size(subscription)
+                sample_count += 1
+    system.run_propagation_period()
+    return system.total_summary_storage(), sample_bytes / max(1, sample_count)
+
+
+def run(
+    topology: Optional[Topology] = None,
+    sizes: Optional[Sequence[int]] = None,
+    subsumptions: Sequence[float] = (0.1, 0.9),
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    topology = topology if topology is not None else cable_wireless_24()
+    sizes = tuple(sizes) if sizes is not None else (QUICK_SIZES if quick else FULL_SIZES)
+    trials = 1 if quick else 3
+
+    columns = ["S", "broadcast"]
+    for q in subsumptions:
+        columns += [f"siena@{int(q * 100)}%", f"summary@{int(q * 100)}%"]
+    result = ExperimentResult(
+        name="Figure 11",
+        description=(
+            "Total subscription storage (bytes) across all "
+            f"{topology.num_brokers} brokers."
+        ),
+        columns=columns,
+    )
+
+    n = topology.num_brokers
+    for outstanding in sizes:
+        row = {"S": outstanding}
+        _, sub_size = measure_summary_storage(topology, 1, subsumptions[0], seed)
+        row["broadcast"] = n * (n * outstanding) * round(sub_size)
+        for q in subsumptions:
+            model = SienaProbModel(topology, max_subsumption=q, seed=seed)
+            row[f"siena@{int(q * 100)}%"] = model.storage_bytes(
+                outstanding, round(sub_size), trials=trials
+            )
+            summary_bytes, _ = measure_summary_storage(topology, outstanding, q, seed)
+            row[f"summary@{int(q * 100)}%"] = summary_bytes
+        result.add_row(**row)
+
+    result.notes.append(
+        "summary storage is the encoded size of every broker's kept "
+        "multi-broker summary; siena/broadcast store raw subscriptions."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=False))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""Transport-fault robustness: delivery ratio under loss and duplication.
+
+The paper (like Siena) assumes reliable broker channels.  This experiment
+quantifies the assumption on the real system:
+
+* **loss**: each message is dropped with probability p.  A dropped EVENT
+  message severs the remaining BROCLI chain (the search is serial), while
+  a dropped NOTIFY loses one owner — so the delivery ratio falls faster
+  than ``1 - p``.
+* **duplication**: each message is duplicated with probability p.  With
+  publish-id de-duplication in the broker layer, the delivery ratio must
+  stay exactly 1.0 and consumers must see no duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.broker.system import SummaryPubSub
+from repro.experiments.common import ExperimentResult
+from repro.network.backbone import cable_wireless_24
+from repro.network.faults import LossyNetwork
+from repro.network.topology import Topology
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+__all__ = ["run", "measure_delivery_ratio"]
+
+
+def measure_delivery_ratio(
+    topology: Topology,
+    drop_probability: float,
+    duplicate_probability: float,
+    events: int,
+    popularity: float = 0.25,
+    seed: int = 0,
+) -> Tuple[float, int]:
+    """(delivered / expected, duplicate deliveries observed)."""
+    system = SummaryPubSub(
+        topology,
+        popularity_schema(),
+        network_cls=LossyNetwork,
+        network_options={
+            "drop_probability": drop_probability,
+            "duplicate_probability": duplicate_probability,
+            "seed": seed,
+        },
+    )
+    sids = {}
+    for broker_id in topology.brokers:
+        sids[broker_id] = system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+
+    delivered = 0
+    expected = 0
+    duplicates = 0
+    matched_sets = draw_matched_sets(topology.num_brokers, popularity, events, seed)
+    for index, matched in enumerate(matched_sets):
+        outcome = system.publish(index % topology.num_brokers, popularity_event(matched))
+        got = [d.sid for d in outcome.deliveries]
+        duplicates += len(got) - len(set(got))
+        delivered += len(set(got))
+        expected += len(matched)
+    return delivered / expected, duplicates
+
+
+def run(
+    topology: Optional[Topology] = None,
+    drop_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2),
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    topology = topology if topology is not None else cable_wireless_24()
+    events = 20 if quick else 200
+
+    result = ExperimentResult(
+        name="Transport robustness",
+        description=(
+            "Delivery ratio under message loss/duplication "
+            f"({topology.num_brokers} brokers, 25% popularity events)."
+        ),
+        columns=["drop%", "delivery_ratio", "dup_delivery_ratio", "duplicates_seen"],
+    )
+    for drop in drop_rates:
+        loss_ratio, _ = measure_delivery_ratio(
+            topology, drop, 0.0, events, seed=seed
+        )
+        dup_ratio, duplicates = measure_delivery_ratio(
+            topology, 0.0, min(1.0, drop * 4 + 0.2), events, seed=seed
+        )
+        result.add_row(
+            **{
+                "drop%": round(drop * 100, 1),
+                "delivery_ratio": round(loss_ratio, 3),
+                "dup_delivery_ratio": round(dup_ratio, 3),
+                "duplicates_seen": duplicates,
+            }
+        )
+    result.notes.append(
+        "loss degrades super-linearly (the BROCLI search is serial); "
+        "duplication is fully absorbed by publish-id de-duplication."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=False))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

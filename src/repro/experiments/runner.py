@@ -1,0 +1,94 @@
+"""Command-line entry point reproducing every paper figure and table.
+
+Usage::
+
+    repro-experiments                # everything, quick mode
+    repro-experiments --full         # paper-scale parameters
+    repro-experiments fig8 fig10     # a subset
+    python -m repro.experiments.runner fig9
+
+Quick mode shrinks sweeps/trials but preserves every qualitative claim;
+full mode uses the paper's parameters (sigma up to 1000, 24,000 events for
+figure 10) and takes several minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    churn,
+    federation,
+    fig8_bandwidth,
+    fig9_prop_hops,
+    fig10_event_hops,
+    fig11_storage,
+    latency,
+    robustness,
+    scale,
+    sensitivity,
+    tables,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["main", "run_all", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "table1": lambda quick: tables.table1_symbols(),
+    "table2": lambda quick: tables.table2_values(),
+    "fig8": lambda quick: fig8_bandwidth.run(quick=quick),
+    "fig9": lambda quick: fig9_prop_hops.run(quick=quick),
+    "fig10": lambda quick: fig10_event_hops.run(quick=quick),
+    "fig11": lambda quick: fig11_storage.run(quick=quick),
+    "sec524": lambda quick: tables.computational_demands(
+        sizes=(200, 400, 800) if quick else (200, 400, 800, 1600, 3200)
+    ),
+    "sensitivity": lambda quick: sensitivity.run(quick=quick),
+    "latency": lambda quick: latency.run(quick=quick),
+    "scale": lambda quick: scale.run(quick=quick),
+    "robustness": lambda quick: robustness.run(quick=quick),
+    "churn": lambda quick: churn.run(quick=quick),
+    "federation": lambda quick: federation.run(quick=quick),
+}
+
+
+def run_all(names: List[str], quick: bool) -> List[ExperimentResult]:
+    results = []
+    for name in names:
+        try:
+            experiment = EXPERIMENTS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choices: {', '.join(EXPERIMENTS)}"
+            ) from None
+        results.append(experiment(quick))
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's figures and tables."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"which to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (slower; default is quick mode)",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    for result in run_all(names, quick=not args.full):
+        print(result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

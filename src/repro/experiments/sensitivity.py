@@ -1,0 +1,146 @@
+"""Topology sensitivity — the paper's "results are similar in all cases".
+
+Section 5.2 states the evaluation "used a number of real and artificial
+topologies" and shows the backbone numbers because the others look alike.
+This driver makes that claim checkable: it re-runs the core comparisons
+(propagation bandwidth and hops, event-routing hops at moderate
+popularity) across a topology zoo — the reconstructed backbone, trees of
+several shapes, a scale-free synthetic backbone, and a random mesh — and
+reports the summary-vs-Siena ratios per topology.  The *ratios* are what
+must be stable; absolute numbers legitimately track topology size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.broker.system import SummaryPubSub
+from repro.experiments.common import ExperimentResult
+from repro.network.backbone import cable_wireless_24, scale_free_backbone
+from repro.network.topology import Topology, paper_example_tree
+from repro.siena.probmodel import SienaProbModel
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+__all__ = ["run", "TOPOLOGY_ZOO"]
+
+#: name -> factory for the sensitivity sweep.
+TOPOLOGY_ZOO: Dict[str, Callable[[], Topology]] = {
+    "cw-backbone-24": cable_wireless_24,
+    "paper-tree-13": paper_example_tree,
+    "star-24": lambda: Topology.star(24),
+    "line-24": lambda: Topology.line(24),
+    "random-tree-24": lambda: Topology.random_tree(24, seed=6),
+    "random-mesh-24": lambda: Topology.random_connected(24, extra_links=12, seed=6),
+    "scale-free-24": lambda: scale_free_backbone(24, seed=6),
+}
+
+
+def _bandwidth_ratio(topology: Topology, sigma: int, subsumption: float) -> float:
+    """Siena bytes / summary bytes for one propagation period."""
+    config = WorkloadConfig(sigma=sigma, subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=43)
+    system = SummaryPubSub(topology, generator.schema)
+    sub_bytes = 0
+    count = 0
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(sigma):
+            system.subscribe(broker_id, subscription)
+            if count < 100:
+                sub_bytes += system.wire.subscription_size(subscription)
+                count += 1
+    summary_bytes = system.run_propagation_period()["bytes_sent"]
+    model = SienaProbModel(topology, subsumption, seed=43)
+    siena_bytes = model.propagation_bandwidth(
+        sigma, round(sub_bytes / max(1, count)), trials=1
+    )
+    return siena_bytes / max(1, summary_bytes)
+
+
+def _hop_numbers(topology: Topology, subsumption: float) -> Tuple[int, float]:
+    """(summary propagation hops, Siena mean propagation hops)."""
+    config = WorkloadConfig(sigma=1)
+    generator = WorkloadGenerator(config, seed=43)
+    system = SummaryPubSub(topology, generator.schema)
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, generator.subscription())
+    hops = system.run_propagation_period()["hops"]
+    model = SienaProbModel(topology, subsumption, seed=43)
+    return hops, model.mean_propagation_hops(trials=10)
+
+
+def _event_hops(topology: Topology, popularity: float, events: int) -> Tuple[float, float]:
+    """(summary mean event hops, Siena mean event hops) at one popularity."""
+    system = SummaryPubSub(topology, popularity_schema())
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+    total = 0
+    count = 0
+    for publisher in topology.brokers:
+        for matched in draw_matched_sets(
+            topology.num_brokers, popularity, events, seed=publisher
+        ):
+            total += system.publish(publisher, popularity_event(matched)).hops
+            count += 1
+    model = SienaProbModel(topology, 0.0, seed=43)
+    return total / count, model.mean_event_hops(events, popularity, seed=43)
+
+
+def run(
+    topologies: Optional[Sequence[str]] = None,
+    sigma: int = 20,
+    subsumption: float = 0.5,
+    popularity: float = 0.25,
+    quick: bool = True,
+) -> ExperimentResult:
+    names = list(topologies) if topologies else list(TOPOLOGY_ZOO)
+    events = 2 if quick else 20
+    result = ExperimentResult(
+        name="Topology sensitivity",
+        description=(
+            "Summary-vs-Siena ratios across the topology zoo "
+            f"(sigma={sigma}, subsumption={subsumption}, "
+            f"popularity={int(popularity * 100)}%)."
+        ),
+        columns=[
+            "topology", "n", "bw_ratio", "prop_hops", "siena_prop_hops",
+            "event_hops", "siena_event_hops",
+        ],
+    )
+    for name in names:
+        topology = TOPOLOGY_ZOO[name]()
+        bw_ratio = _bandwidth_ratio(topology, sigma, subsumption)
+        prop_hops, siena_prop = _hop_numbers(topology, subsumption)
+        event_hops, siena_event = _event_hops(topology, popularity, events)
+        result.add_row(
+            topology=name,
+            n=topology.num_brokers,
+            bw_ratio=round(bw_ratio, 2),
+            prop_hops=prop_hops,
+            siena_prop_hops=round(siena_prop, 1),
+            event_hops=round(event_hops, 2),
+            siena_event_hops=round(siena_event, 2),
+        )
+    result.notes.append(
+        "the paper's claim is that the *relative* results hold across "
+        "topologies: bw_ratio > 1 everywhere and prop_hops <= n (strictly "
+        "below n whenever some broker has no equal-or-higher-degree "
+        "neighbor left to contact — every topology here except the "
+        "degenerate line, where all 24 brokers pair up and send)."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=False))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

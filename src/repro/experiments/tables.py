@@ -1,0 +1,119 @@
+"""Tables 1-2 and the section 5.2.4 computational-demands study.
+
+Table 1 defines the cost-model symbols and table 2 their experimental
+values — reproduced here as a printable table backed by
+:class:`repro.workload.config.WorkloadConfig`, so the values the code
+actually uses are the ones displayed.
+
+Section 5.2.4 has no figure; it reports the matching-time model
+(T1 + T2 = O(N)) and expects summary matching to be faster than
+subscription-centric matching.  :func:`computational_demands` measures
+both matchers at growing subscription counts and reports the analytic T1
+alongside, so the O(N) claim and the constant-factor claim are both
+checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import linear_fit_r2, measure_matching_scaling
+from repro.analysis.cost_model import expected_structure_counts, matching_step1_cost
+from repro.experiments.common import ExperimentResult
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["table1_symbols", "table2_values", "computational_demands"]
+
+
+def table1_symbols() -> ExperimentResult:
+    """Table 1: parameter definitions."""
+    result = ExperimentResult(
+        name="Table 1",
+        description="Cost-model parameter definitions.",
+        columns=["symbol", "meaning"],
+    )
+    for symbol, meaning in (
+        ("nt", "total attribute names in the event/subscription type"),
+        ("S", "average outstanding subscriptions per broker"),
+        ("sigma", "average new per-broker subscriptions per period"),
+        ("nas", "arithmetic attributes per subscription"),
+        ("nsr", "rows in AACS_SR per arithmetic attribute"),
+        ("ne", "rows in AACS_E per arithmetic attribute"),
+        ("La", "subscription-id list entries per arithmetic attribute"),
+        ("nss", "string attributes per subscription"),
+        ("nr", "rows in SACS per string attribute"),
+        ("Ls", "subscription-id list entries per string attribute"),
+        ("ssv", "average string value size (bytes)"),
+        ("sst", "storage size of an arithmetic value (bytes)"),
+        ("sid", "storage size of a subscription id (bytes)"),
+        ("E", "average incoming events per broker"),
+        ("nae", "arithmetic attributes per event"),
+        ("nse", "string attributes per event"),
+    ):
+        result.add_row(symbol=symbol, meaning=meaning)
+    return result
+
+
+def table2_values(config: Optional[WorkloadConfig] = None) -> ExperimentResult:
+    """Table 2: the values used, read from the live configuration."""
+    config = config if config is not None else WorkloadConfig()
+    result = ExperimentResult(
+        name="Table 2",
+        description="Parameter values used by the experiments.",
+        columns=["symbol", "value"],
+    )
+    for symbol, value in (
+        ("S", config.outstanding),
+        ("nt", config.nt),
+        ("nsr", config.nsr),
+        ("sst, sid", f"{config.sst}, {config.sid}"),
+        ("ssv", config.ssv),
+        ("sigma", "10 .. 1000"),
+        ("subsumption", "0.1, 0.25, 0.5, 0.75, 0.9"),
+        ("attrs/subscription", config.attributes_per_subscription),
+        ("arithmetic : string", f"{config.nas} : {config.nss}"),
+        ("subscription size", f"~{config.subscription_size} bytes"),
+    ):
+        result.add_row(symbol=symbol, value=value)
+    return result
+
+
+def computational_demands(
+    sizes: Sequence[int] = (200, 400, 800, 1600),
+    events_per_size: int = 30,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Section 5.2.4: measured matching time vs the analytic T1 model."""
+    config = config if config is not None else WorkloadConfig()
+    points = measure_matching_scaling(
+        sizes, events_per_size=events_per_size, config=config, seed=seed
+    )
+    result = ExperimentResult(
+        name="Section 5.2.4",
+        description="Event matching cost: summary vs subscription-centric.",
+        columns=["N", "summary_us", "naive_us", "speedup", "T1_model"],
+    )
+    for point in points:
+        counts = expected_structure_counts(config, point.subscriptions)
+        t1 = matching_step1_cost(
+            nae=config.nas,
+            nsr=counts.nsr,
+            ne=counts.ne,
+            la=counts.la,
+            nse=config.nss,
+            nr=counts.nr,
+            ls=counts.ls,
+        )
+        result.add_row(
+            N=point.subscriptions,
+            summary_us=point.summary_seconds * 1e6,
+            naive_us=point.naive_seconds * 1e6,
+            speedup=point.speedup,
+            T1_model=t1,
+        )
+    r2 = linear_fit_r2(
+        [(p.subscriptions, p.summary_seconds) for p in points]
+    )
+    result.notes.append(f"summary matching time vs N linear fit R^2 = {r2:.3f} (O(N) claim)")
+    return result

@@ -1,0 +1,37 @@
+"""Section-6 extensions: advertisements, virtual degrees, dynamic
+schemata, and hybrid summarization+subsumption."""
+
+from repro.ext.advertisements import (
+    Advertisement,
+    AdvertisementError,
+    AdvertisingBroker,
+    AdvertisingPubSub,
+    constraints_intersect,
+    subscription_intersects_advertisement,
+)
+from repro.ext.dynamic_schema import DynamicSchema, VersionedIdCodec
+from repro.ext.hybrid import HybridBroker, HybridPubSub
+from repro.ext.locality import LocalityRouter, enable_locality
+from repro.ext.virtual_degrees import (
+    VirtualDegreeRouter,
+    enable_virtual_degrees,
+    hub_load_spread,
+)
+
+__all__ = [
+    "Advertisement",
+    "AdvertisementError",
+    "AdvertisingBroker",
+    "AdvertisingPubSub",
+    "DynamicSchema",
+    "HybridBroker",
+    "HybridPubSub",
+    "LocalityRouter",
+    "VersionedIdCodec",
+    "VirtualDegreeRouter",
+    "constraints_intersect",
+    "enable_locality",
+    "enable_virtual_degrees",
+    "hub_load_spread",
+    "subscription_intersects_advertisement",
+]

@@ -1,0 +1,115 @@
+"""Dynamically-changing attribute schemata (paper section 6).
+
+The base system fixes the attribute set up front (section 3's assumption
+(ii)); the conclusions note that supporting schema growth "basically only
+requires changing the c3 field of subscription ids".  This module
+implements that:
+
+* :class:`DynamicSchema` — an append-only, versioned attribute registry.
+  Adding an attribute bumps the version; positions (and therefore existing
+  ``c3`` masks) never change, so every previously-issued subscription id
+  stays valid.
+* :class:`VersionedIdCodec` — wire ids prefixed with the schema version
+  they were minted under; the decoder uses that version's ``c3`` width, so
+  brokers that have already learned about new attributes can still decode
+  ids minted by brokers that have not (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.attributes import AttributeSpec
+from repro.model.ids import IdCodec, SubscriptionId
+from repro.model.schema import Schema
+from repro.wire.codec import ByteReader, ByteWriter, CodecError
+
+__all__ = ["DynamicSchema", "VersionedIdCodec"]
+
+
+class DynamicSchema:
+    """An append-only attribute registry with versioned Schema snapshots."""
+
+    def __init__(self, initial: Schema):
+        self._specs: List[AttributeSpec] = list(initial.specs)
+        self._snapshots: List[Schema] = [initial]
+
+    @property
+    def version(self) -> int:
+        """Current schema version (0 = the initial schema)."""
+        return len(self._snapshots) - 1
+
+    @property
+    def current(self) -> Schema:
+        return self._snapshots[-1]
+
+    def at_version(self, version: int) -> Schema:
+        if not 0 <= version < len(self._snapshots):
+            raise ValueError(f"unknown schema version {version}")
+        return self._snapshots[version]
+
+    def add_attribute(self, spec: AttributeSpec) -> int:
+        """Register a new attribute; returns its (stable) position.
+
+        Existing positions are untouched, so c3 masks minted under any
+        earlier version remain correct under every later one.
+        """
+        if any(existing.name == spec.name for existing in self._specs):
+            raise ValueError(f"attribute {spec.name!r} already in schema")
+        self._specs.append(spec)
+        snapshot = Schema(self._specs)
+        self._snapshots.append(snapshot)
+        return len(self._specs) - 1
+
+    def upgrade_mask(self, mask: int, from_version: int) -> int:
+        """A c3 mask from an older version, as seen by the current schema.
+
+        Positions are stable, so the mask value is unchanged — this method
+        exists to make that invariant explicit (and to validate range).
+        """
+        old_width = len(self.at_version(from_version))
+        if mask >= (1 << old_width):
+            raise ValueError(
+                f"mask {mask:#x} too wide for schema version {from_version}"
+            )
+        return mask
+
+
+class VersionedIdCodec:
+    """Packs subscription ids with the schema version they were minted at."""
+
+    def __init__(self, dynamic: DynamicSchema, num_brokers: int, max_subscriptions: int):
+        self.dynamic = dynamic
+        self.num_brokers = num_brokers
+        self.max_subscriptions = max_subscriptions
+        self._codecs: Dict[int, IdCodec] = {}
+
+    def codec_for(self, version: int) -> IdCodec:
+        codec = self._codecs.get(version)
+        if codec is None:
+            codec = self._codecs[version] = IdCodec(
+                num_brokers=self.num_brokers,
+                max_subscriptions=self.max_subscriptions,
+                num_attributes=len(self.dynamic.at_version(version)),
+            )
+        return codec
+
+    def encode(self, sid: SubscriptionId, version: int) -> bytes:
+        writer = ByteWriter()
+        writer.varint(version)
+        writer.raw(self.codec_for(version).to_bytes(sid))
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> Tuple[SubscriptionId, int]:
+        reader = ByteReader(data)
+        version = reader.varint()
+        if version > self.dynamic.version:
+            raise CodecError(
+                f"id minted under schema version {version}, but only "
+                f"{self.dynamic.version} is known here"
+            )
+        codec = self.codec_for(version)
+        sid = codec.from_bytes(reader.raw(codec.byte_size))
+        if not reader.at_end():
+            raise CodecError(f"{reader.remaining} trailing bytes after versioned id")
+        return sid, version

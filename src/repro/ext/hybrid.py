@@ -1,0 +1,122 @@
+"""Hybrid summarization + subsumption (paper section 6).
+
+The conclusions mention ongoing work "combining summarization and
+subsumption".  The natural combination: before a new subscription enters
+the summary (and therefore the propagated id lists), check whether an
+already-summarized *local* subscription covers it.  If so, the newcomer
+needs no summary entry of its own — any event matching it also matches its
+coverer, so the coverer's id will bring the event home, where delivery
+re-checks the raw store anyway.
+
+Effects measured by ``benchmarks/test_ablation_hybrid.py``:
+
+* propagated summaries carry fewer ids (bandwidth/storage shrink further
+  when the workload has covering structure);
+* matching work at remote brokers drops (shorter id lists);
+* correctness is unchanged *because* home delivery checks every raw local
+  subscription against the event, not just the notified candidate ids.
+
+Churn safety: unsubscribing a *covering* subscription would strand the
+subscriptions it suppressed (they have no remote presence), so frontier
+removals rebuild the covering frontier and queue newly-uncovered
+subscriptions for propagation at the next period.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.broker.broker import SummaryBroker
+from repro.broker.system import SummaryPubSub
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.subscriptions import Subscription
+from repro.siena.poset import CoveringSet
+
+__all__ = ["HybridBroker", "HybridPubSub"]
+
+
+class HybridBroker(SummaryBroker):
+    """A summary broker that suppresses covered subscriptions."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: The covering frontier of subscriptions that DID enter the summary.
+        self.summarized = CoveringSet()
+        self._summarized_sids: Set[SubscriptionId] = set()
+
+    @property
+    def suppressed(self) -> int:
+        """Local subscriptions absorbed by the frontier (not propagated)."""
+        return len(self.store) - len(self._summarized_sids)
+
+    def subscribe(self, subscription: Subscription) -> SubscriptionId:
+        sid = self.store.subscribe(subscription)
+        if self.summarized.covers(subscription):
+            # Covered: stored for delivery, never summarized or propagated.
+            return sid
+        self.summarized.add(subscription)
+        self._summarized_sids.add(sid)
+        self.pending.append((sid, subscription))
+        return sid
+
+    def unsubscribe(self, sid: SubscriptionId) -> bool:
+        was_frontier = sid in self._summarized_sids
+        if not super().unsubscribe(sid):
+            return False
+        if was_frontier:
+            self._summarized_sids.discard(sid)
+            self._rebuild_frontier()
+        return True
+
+    def _rebuild_frontier(self) -> None:
+        """Recompute the covering frontier after a frontier removal; any
+        subscription that becomes uncovered is queued for propagation."""
+        self.summarized = CoveringSet()
+        promoted: List[Tuple[SubscriptionId, Subscription]] = []
+        for sid, subscription in sorted(self.store.items()):
+            if self.summarized.covers(subscription):
+                continue
+            self.summarized.add(subscription)
+            if sid not in self._summarized_sids:
+                self._summarized_sids.add(sid)
+                promoted.append((sid, subscription))
+        for sid, subscription in promoted:
+            # Re-enter the local kept summary immediately (local events must
+            # match before the next period) and propagate at the next period.
+            self.kept_summary.add(subscription, sid)
+            self.pending.append((sid, subscription))
+
+    def deliver(
+        self, sids: Set[SubscriptionId], event: Event, publish_id: int = 0
+    ) -> Set[SubscriptionId]:
+        """Hybrid delivery ignores the candidate ids and checks the whole
+        raw store: suppressed subscriptions have no remote ids, so the
+        notification for their coverer must fan out to them here."""
+        if publish_id:
+            if publish_id in self._delivered_publishes:
+                self.duplicates_suppressed += 1
+                return set()
+            self._remember(self._delivered_publishes, publish_id)
+        confirmed: Set[SubscriptionId] = set()
+        for sid, subscription in self.store.items():
+            if subscription.matches(event):
+                confirmed.add(sid)
+        self.false_positive_notifies += len(sids - confirmed)
+        for sid in sorted(confirmed):
+            self.deliveries.append((sid, event))
+            if self.on_delivery is not None:
+                self.on_delivery(self.broker_id, sid, event)
+        return confirmed
+
+
+class HybridPubSub(SummaryPubSub):
+    """The summary system with the covering prefilter enabled."""
+
+    def _create_broker(self, broker_id: int) -> SummaryBroker:
+        return HybridBroker(
+            broker_id, self.schema, self.precision, on_delivery=self._record_delivery
+        )
+
+    def total_suppressed(self) -> int:
+        return sum(broker.suppressed for broker in self.brokers.values())  # type: ignore[attr-defined]

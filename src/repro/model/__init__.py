@@ -1,0 +1,55 @@
+"""Event/subscription data model (paper section 2.1 and 3.2).
+
+Public surface: attribute types and specs, events, constraints,
+subscriptions, the ordered global schema, bit-packed subscription ids, and a
+small text parser for the paper's constraint notation.
+"""
+
+from repro.model.attributes import AttributeSpec
+from repro.model.composite import Query, parse_query
+from repro.model.constraints import (
+    ARITHMETIC_OPERATORS,
+    STRING_OPERATORS,
+    Constraint,
+    Operator,
+    glob_match,
+)
+from repro.model.events import Event
+from repro.model.ids import IdCodec, SubscriptionId, popcount
+from repro.model.parser import ParseError, parse_constraint, parse_subscription
+from repro.model.schema import Schema, SchemaError, stock_schema
+from repro.model.subscriptions import Subscription
+from repro.model.types import (
+    AttributeType,
+    AttributeValue,
+    coerce_value,
+    date_to_timestamp,
+    timestamp_to_date,
+)
+
+__all__ = [
+    "ARITHMETIC_OPERATORS",
+    "STRING_OPERATORS",
+    "AttributeSpec",
+    "AttributeType",
+    "AttributeValue",
+    "Constraint",
+    "Event",
+    "IdCodec",
+    "Operator",
+    "ParseError",
+    "Query",
+    "Schema",
+    "SchemaError",
+    "Subscription",
+    "SubscriptionId",
+    "coerce_value",
+    "date_to_timestamp",
+    "glob_match",
+    "parse_constraint",
+    "parse_query",
+    "parse_subscription",
+    "popcount",
+    "stock_schema",
+    "timestamp_to_date",
+]

@@ -1,0 +1,60 @@
+"""Attribute specifications.
+
+The paper assumes (section 3) that:
+
+  (i) a named attribute cannot have two different data types,
+  (ii) the number of attributes in the system is predefined, as well as the
+       specification of these attributes (name - type), and
+  (iii) the set of supported attributes is ordered and known by each broker.
+
+:class:`AttributeSpec` is the (name, type) pair of assumption (ii); the
+ordered set of assumption (iii) is :class:`repro.model.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.types import AttributeType
+
+__all__ = ["AttributeSpec"]
+
+_IDENTIFIER_EXTRAS = frozenset("_-.")
+
+
+def _validate_name(name: str) -> None:
+    if not name:
+        raise ValueError("attribute name must be non-empty")
+    if any(ch.isspace() for ch in name):
+        raise ValueError(f"attribute name must not contain whitespace: {name!r}")
+    if not all(ch.isalnum() or ch in _IDENTIFIER_EXTRAS for ch in name):
+        raise ValueError(f"attribute name contains invalid characters: {name!r}")
+
+
+@dataclass(frozen=True, order=True)
+class AttributeSpec:
+    """A named, typed attribute slot in the global schema.
+
+    Instances are immutable and hashable so they can key dictionaries in the
+    summary structures.  Ordering (by name, then type) gives schemas a
+    canonical attribute order when one is not supplied explicitly.
+    """
+
+    name: str
+    type: AttributeType
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name)
+        if not isinstance(self.type, AttributeType):
+            raise TypeError(f"type must be an AttributeType, got {self.type!r}")
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.type.is_arithmetic
+
+    @property
+    def is_string(self) -> bool:
+        return self.type.is_string
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.type.value}"

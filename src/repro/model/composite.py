@@ -1,0 +1,98 @@
+"""Composite queries: disjunctions over conjunctive subscriptions.
+
+The paper's subscription model (like Siena's) is purely conjunctive — a
+subscription is an AND of constraints.  Real user interests often need OR
+("OTE on any exchange, or anything cheap on NYSE").  The standard
+treatment, implemented here, is disjunctive normal form at the *client*
+layer: a :class:`Query` is an OR of plain subscriptions, registered as
+several independent subscriptions and de-duplicated on delivery.
+
+The textual form extends the parser's notation with ``OR`` at the lowest
+precedence (AND binds tighter; no parentheses — pre-normalize to DNF)::
+
+    parse_query(schema, "symbol = OTE OR exchange = NYSE AND price < 5")
+    # -> (symbol = OTE)  |  (exchange = NYSE AND price < 5)
+
+Delivery de-duplication needs no memory: an event matching several
+branches is attributed to its *first* matching branch, so exactly one
+alert fires per (query, event) regardless of how many branch
+subscriptions the system delivers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.model.events import Event
+from repro.model.parser import ParseError, parse_subscription
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+
+__all__ = ["Query", "parse_query"]
+
+_OR_SPLIT = re.compile(r"\s+(?:OR|or)\s+")
+
+
+class Query:
+    """An immutable disjunction of subscriptions (DNF)."""
+
+    __slots__ = ("_branches",)
+
+    def __init__(self, branches: Sequence[Subscription]):
+        branch_tuple = tuple(branches)
+        if not branch_tuple:
+            raise ValueError("a query needs at least one branch")
+        self._branches = branch_tuple
+
+    @property
+    def branches(self) -> Tuple[Subscription, ...]:
+        return self._branches
+
+    def __len__(self) -> int:
+        return len(self._branches)
+
+    def __iter__(self) -> Iterator[Subscription]:
+        return iter(self._branches)
+
+    # -- matching ---------------------------------------------------------------
+
+    def matches(self, event: Event) -> bool:
+        return any(branch.matches(event) for branch in self._branches)
+
+    def first_matching_branch(self, event: Event) -> Optional[int]:
+        """Index of the earliest branch matching ``event`` (None if none) —
+        the canonical branch a delivery is attributed to."""
+        for index, branch in enumerate(self._branches):
+            if branch.matches(event):
+                return index
+        return None
+
+    def is_attributed_to(self, event: Event, branch_index: int) -> bool:
+        """Whether a delivery via ``branch_index`` should alert the user —
+        True only for the first matching branch, giving exactly one alert
+        per event however many branches matched."""
+        if not 0 <= branch_index < len(self._branches):
+            raise IndexError(f"no branch {branch_index}")
+        return self.first_matching_branch(event) == branch_index
+
+    # -- equality ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self._branches == other._branches
+
+    def __hash__(self) -> int:
+        return hash(self._branches)
+
+    def __repr__(self) -> str:
+        return " OR ".join(f"({branch!r})" for branch in self._branches)
+
+
+def parse_query(schema: Schema, text: str) -> Query:
+    """Parse ``A AND B OR C`` notation (OR lowest precedence) to a Query."""
+    pieces = [piece for piece in _OR_SPLIT.split(text) if piece.strip()]
+    if not pieces:
+        raise ParseError("empty query text")
+    return Query([parse_subscription(schema, piece) for piece in pieces])

@@ -1,0 +1,206 @@
+"""Subscription constraints and their operators.
+
+The subscription schema (paper section 2.1) allows "all interesting
+subscription-attribute data types (such as integers, strings, etc.) and all
+interesting operators (=, !=, <, >, prefix '>*', suffix '*<', containment
+'*', etc.)".  A subscription is a conjunction of constraints; a constraint
+is an ``(attribute, operator, value)`` triple.
+
+This module defines the operator vocabulary and the *ground-truth* matching
+semantics — ``Constraint.matches(value)`` — against which the summary
+structures are validated.  The summary layer never re-implements semantics;
+it must only ever report a superset (COARSE mode) or the exact set (EXACT
+mode) of what these predicates define.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.types import ArithmeticValue, AttributeType, AttributeValue, coerce_value
+
+__all__ = [
+    "Operator",
+    "Constraint",
+    "ARITHMETIC_OPERATORS",
+    "STRING_OPERATORS",
+    "glob_match",
+]
+
+
+class Operator(enum.Enum):
+    """Constraint operators, with the paper's notation as values."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PREFIX = ">*"  # value must start with the operand
+    SUFFIX = "*<"  # value must end with the operand
+    CONTAINS = "*"  # value must contain the operand
+    MATCHES = "~"  # value must match a glob pattern with '*' wildcards,
+    #               anchored at both ends (figure 3's "N*SE" constraint)
+
+    @property
+    def symbol(self) -> str:
+        return self.value
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Operator":
+        """Look up an operator by its paper notation (e.g. ``'>*'``)."""
+        for op in cls:
+            if op.value == symbol:
+                return op
+        # Accept a few common aliases so the parser is forgiving.
+        aliases = {"==": cls.EQ, "<>": cls.NE, "≠": cls.NE, "≤": cls.LE, "≥": cls.GE}
+        if symbol in aliases:
+            return aliases[symbol]
+        raise ValueError(f"unknown operator symbol: {symbol!r}")
+
+
+#: Operators valid on arithmetic (integer/float/date) attributes.
+ARITHMETIC_OPERATORS = frozenset(
+    {Operator.EQ, Operator.NE, Operator.LT, Operator.LE, Operator.GT, Operator.GE}
+)
+
+#: Operators valid on string attributes.  EQ/NE apply to both families; the
+#: ordering operators are arithmetic-only and the pattern operators are
+#: string-only.
+STRING_OPERATORS = frozenset(
+    {
+        Operator.EQ,
+        Operator.NE,
+        Operator.PREFIX,
+        Operator.SUFFIX,
+        Operator.CONTAINS,
+        Operator.MATCHES,
+    }
+)
+
+
+def glob_match(pattern: str, value: str) -> bool:
+    """Anchored glob matching where ``'*'`` matches any (possibly empty) run.
+
+    This is the semantics of the paper's pattern constraints ("N*SE" matches
+    "NYSE"; "m*t" matches "microsoft").  Implemented directly (rather than
+    via :mod:`fnmatch`) so that ``'?'``, ``'['`` etc. are ordinary characters
+    — the paper's pattern language only has ``'*'``.
+    """
+    pieces = pattern.split("*")
+    if len(pieces) == 1:
+        return value == pattern
+    head, *middle, tail = pieces
+    if not value.startswith(head) or not value.endswith(tail):
+        return False
+    pos = len(head)
+    end = len(value) - len(tail)
+    for piece in middle:
+        if not piece:
+            continue
+        found = value.find(piece, pos, end)
+        if found < 0:
+            return False
+        pos = found + len(piece)
+    return pos <= end
+
+
+def _operators_for(attr_type: AttributeType) -> frozenset:
+    return STRING_OPERATORS if attr_type.is_string else ARITHMETIC_OPERATORS
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single attribute-value constraint of a subscription.
+
+    ``attr_type`` is carried on the constraint (rather than looked up in a
+    schema at match time) because a broker dissolves subscriptions into bare
+    constraints before summarizing them; each piece must be self-describing.
+    """
+
+    name: str
+    attr_type: AttributeType
+    operator: Operator
+    value: AttributeValue
+
+    def __post_init__(self) -> None:
+        if self.operator not in _operators_for(self.attr_type):
+            raise ValueError(
+                f"operator {self.operator.symbol!r} is not valid for "
+                f"{self.attr_type.value} attribute {self.name!r}"
+            )
+        object.__setattr__(self, "value", coerce_value(self.attr_type, self.value))
+
+    # -- matching (ground truth semantics) --------------------------------
+
+    def matches(self, value: AttributeValue) -> bool:
+        """Whether an event attribute value satisfies this constraint.
+
+        The caller is responsible for only passing values of the right
+        family (the schema layer guarantees a named attribute has a single
+        type, per assumption (i) of paper section 3).
+        """
+        op = self.operator
+        if op is Operator.EQ:
+            return value == self.value
+        if op is Operator.NE:
+            return value != self.value
+        if self.attr_type.is_string:
+            return self._matches_string_pattern(value)
+        return self._matches_ordering(value)
+
+    def _matches_string_pattern(self, value: AttributeValue) -> bool:
+        if not isinstance(value, str):
+            raise TypeError(f"string constraint on {self.name!r} got {type(value).__name__}")
+        operand = self.value
+        assert isinstance(operand, str)
+        if self.operator is Operator.PREFIX:
+            return value.startswith(operand)
+        if self.operator is Operator.SUFFIX:
+            return value.endswith(operand)
+        if self.operator is Operator.CONTAINS:
+            return operand in value
+        if self.operator is Operator.MATCHES:
+            return glob_match(operand, value)
+        raise AssertionError(f"unhandled string operator {self.operator!r}")  # pragma: no cover
+
+    def _matches_ordering(self, value: AttributeValue) -> bool:
+        if isinstance(value, str):
+            raise TypeError(f"arithmetic constraint on {self.name!r} got a str")
+        bound = self.value
+        assert not isinstance(bound, str)
+        if self.operator is Operator.LT:
+            return value < bound
+        if self.operator is Operator.LE:
+            return value <= bound
+        if self.operator is Operator.GT:
+            return value > bound
+        if self.operator is Operator.GE:
+            return value >= bound
+        raise AssertionError(f"unhandled arithmetic operator {self.operator!r}")  # pragma: no cover
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def arithmetic(
+        cls,
+        name: str,
+        operator: Union[Operator, str],
+        value: ArithmeticValue,
+        attr_type: AttributeType = AttributeType.FLOAT,
+    ) -> "Constraint":
+        if isinstance(operator, str):
+            operator = Operator.from_symbol(operator)
+        return cls(name=name, attr_type=attr_type, operator=operator, value=value)
+
+    @classmethod
+    def string(cls, name: str, operator: Union[Operator, str], value: str) -> "Constraint":
+        if isinstance(operator, str):
+            operator = Operator.from_symbol(operator)
+        return cls(name=name, attr_type=AttributeType.STRING, operator=operator, value=value)
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.operator.symbol} {self.value!r}"

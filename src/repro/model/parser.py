@@ -1,0 +1,86 @@
+"""A tiny textual subscription language.
+
+The paper writes constraints as ``name operator value`` rows (figure 3).
+This module accepts the same notation as text, so examples and workload
+files stay readable::
+
+    parse_subscription(schema, "exchange ~ N*SE AND symbol = OTE AND "
+                               "price < 8.70 AND price > 8.30")
+
+Grammar (one constraint)::
+
+    constraint := NAME OP VALUE
+    OP         := '=' | '!=' | '<' | '<=' | '>' | '>=' | '>*' | '*<' | '*' | '~'
+
+Values are typed by the schema: arithmetic attributes parse ``int``/``float``
+literals; string attributes take the rest of the text verbatim (surrounding
+quotes, if present, are stripped so values may contain spaces).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.schema import Schema, SchemaError
+from repro.model.subscriptions import Subscription
+from repro.model.types import AttributeType
+
+__all__ = ["parse_constraint", "parse_subscription", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when constraint text cannot be parsed."""
+
+
+# Longest symbols first so '>=' wins over '>' and '>*' over '>'.
+_OP_PATTERN = "|".join(
+    re.escape(sym) for sym in sorted((op.value for op in Operator), key=len, reverse=True)
+)
+_CONSTRAINT_RE = re.compile(rf"^\s*([\w.\-]+)\s*({_OP_PATTERN})\s*(.+?)\s*$")
+_SPLIT_RE = re.compile(r"\s+(?:AND|and)\s+|\s*;\s*")
+
+
+def parse_constraint(schema: Schema, text: str) -> Constraint:
+    """Parse one ``name operator value`` constraint against a schema."""
+    match = _CONSTRAINT_RE.match(text)
+    if match is None:
+        raise ParseError(f"cannot parse constraint: {text!r}")
+    name, op_symbol, raw_value = match.groups()
+    try:
+        attr_type = schema.type_of(name)
+    except SchemaError as exc:
+        raise ParseError(str(exc)) from exc
+    operator = Operator.from_symbol(op_symbol)
+    value = _parse_value(attr_type, raw_value)
+    try:
+        return Constraint(name=name, attr_type=attr_type, operator=operator, value=value)
+    except (TypeError, ValueError) as exc:
+        raise ParseError(f"invalid constraint {text!r}: {exc}") from exc
+
+
+def parse_subscription(schema: Schema, text: str) -> Subscription:
+    """Parse a conjunction of constraints joined by ``AND`` or ``;``."""
+    pieces = [piece for piece in _SPLIT_RE.split(text) if piece.strip()]
+    if not pieces:
+        raise ParseError("empty subscription text")
+    constraints: List[Constraint] = [parse_constraint(schema, piece) for piece in pieces]
+    return Subscription(constraints)
+
+
+def _parse_value(attr_type: AttributeType, raw: str) -> object:
+    if attr_type is AttributeType.STRING:
+        if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+            return raw[1:-1]
+        return raw
+    if attr_type is AttributeType.INTEGER:
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ParseError(f"expected integer literal, got {raw!r}") from exc
+    # FLOAT and DATE (as a timestamp) both accept numeric literals.
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ParseError(f"expected numeric literal, got {raw!r}") from exc

@@ -1,0 +1,95 @@
+"""Subscriptions — conjunctions of attribute constraints.
+
+An event matches a subscription iff *all* the subscription's constraints are
+satisfied (paper section 2.1).  A subscription may place two or more
+constraints on the same attribute (e.g. ``price > 8.30`` and ``price < 8.70``
+together describe a range), and an event may carry attributes the
+subscription never mentions.
+
+``Subscription.matches`` is the ground-truth matcher used to validate the
+summary-based matcher and to perform the home broker's exact re-check in
+COARSE precision mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.model.constraints import Constraint
+from repro.model.events import Event
+from repro.model.types import AttributeType
+
+__all__ = ["Subscription"]
+
+
+class Subscription:
+    """An immutable conjunction of :class:`Constraint` objects."""
+
+    __slots__ = ("_constraints", "_by_attribute", "_hash")
+
+    def __init__(self, constraints: Iterable[Constraint]):
+        constraint_list: Tuple[Constraint, ...] = tuple(constraints)
+        if not constraint_list:
+            raise ValueError("a subscription must have at least one constraint")
+        by_attribute: Dict[str, List[Constraint]] = {}
+        types: Dict[str, AttributeType] = {}
+        for constraint in constraint_list:
+            seen_type = types.get(constraint.name)
+            if seen_type is not None and seen_type is not constraint.attr_type:
+                raise ValueError(
+                    f"attribute {constraint.name!r} used with two types "
+                    f"({seen_type.value} and {constraint.attr_type.value})"
+                )
+            types[constraint.name] = constraint.attr_type
+            by_attribute.setdefault(constraint.name, []).append(constraint)
+        self._constraints = constraint_list
+        self._by_attribute = {name: tuple(cs) for name, cs in by_attribute.items()}
+        self._hash: int = hash(frozenset(constraint_list))
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return self._constraints
+
+    @property
+    def attribute_names(self) -> FrozenSet[str]:
+        """The set of attributes this subscription places constraints on."""
+        return frozenset(self._by_attribute)
+
+    def constraints_on(self, name: str) -> Tuple[Constraint, ...]:
+        return self._by_attribute.get(name, ())
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    # -- matching ---------------------------------------------------------------
+
+    def matches(self, event: Event) -> bool:
+        """Ground-truth matching: every constraint satisfied, every
+        constrained attribute present in the event."""
+        for name, constraints in self._by_attribute.items():
+            if name not in event:
+                return False
+            value = event.value(name)
+            for constraint in constraints:
+                if not constraint.matches(value):
+                    return False
+        return True
+
+    # -- equality ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subscription):
+            return NotImplemented
+        return frozenset(self._constraints) == frozenset(other._constraints)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = " AND ".join(str(c) for c in self._constraints)
+        return f"Subscription({body})"

@@ -1,0 +1,114 @@
+"""Attribute types for the event/subscription schema.
+
+The paper (section 2.1, "Event and Subscription Types") models an event as an
+untyped set of typed attributes, where each attribute is a ``(type, name,
+value)`` triple and the type belongs to a predefined set of primitive types.
+The example event of figure 2 uses strings, a date, floats and an integer.
+
+For the purposes of the summary structures there are exactly two families of
+types:
+
+* *arithmetic* types (integers, floats, dates) — summarized by AACS
+  structures of value sub-ranges, and
+* *string* types — summarized by SACS structures of covering patterns.
+
+Dates are represented internally as POSIX timestamps (seconds since the
+epoch, as a float), which makes them ordinary arithmetic values; helpers for
+converting to and from :class:`datetime.datetime` live here.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Union
+
+__all__ = [
+    "AttributeType",
+    "AttributeValue",
+    "ArithmeticValue",
+    "coerce_value",
+    "date_to_timestamp",
+    "timestamp_to_date",
+]
+
+#: A value carried by an event attribute or used in a constraint.
+AttributeValue = Union[int, float, str]
+
+#: The subset of values usable with arithmetic operators.
+ArithmeticValue = Union[int, float]
+
+
+class AttributeType(enum.Enum):
+    """The primitive attribute types supported by the schema.
+
+    The set mirrors "primitive data types commonly found in most programming
+    languages" from the paper, collapsed into the four types that appear in
+    the paper's figures.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """Whether values of this type are summarized by AACS structures."""
+        return self is not AttributeType.STRING
+
+    @property
+    def is_string(self) -> bool:
+        """Whether values of this type are summarized by SACS structures."""
+        return self is AttributeType.STRING
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeType.{self.name}"
+
+
+def date_to_timestamp(value: _dt.datetime) -> float:
+    """Convert a datetime to its arithmetic (POSIX timestamp) representation.
+
+    Naive datetimes are interpreted as UTC so that the conversion is
+    deterministic across machines and timezones.
+    """
+    if value.tzinfo is None:
+        value = value.replace(tzinfo=_dt.timezone.utc)
+    return value.timestamp()
+
+
+def timestamp_to_date(value: ArithmeticValue) -> _dt.datetime:
+    """Convert a POSIX timestamp back to an aware UTC datetime."""
+    return _dt.datetime.fromtimestamp(float(value), tz=_dt.timezone.utc)
+
+
+def coerce_value(attr_type: AttributeType, value: object) -> AttributeValue:
+    """Coerce ``value`` to the canonical Python representation of a type.
+
+    Raises :class:`TypeError` when the value cannot represent the type.  This
+    is the single validation point used by events, constraints and the wire
+    codec, so the accepted conversions are deliberately conservative:
+    booleans are rejected as integers (a common source of silent bugs) and
+    strings are never parsed into numbers.
+    """
+    if attr_type is AttributeType.STRING:
+        if not isinstance(value, str):
+            raise TypeError(f"expected str for STRING attribute, got {type(value).__name__}")
+        return value
+    if attr_type is AttributeType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"expected int for INTEGER attribute, got {type(value).__name__}")
+        return value
+    if attr_type is AttributeType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"expected number for FLOAT attribute, got {type(value).__name__}")
+        return float(value)
+    if attr_type is AttributeType.DATE:
+        if isinstance(value, _dt.datetime):
+            return date_to_timestamp(value)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"expected datetime or timestamp for DATE attribute, got {type(value).__name__}"
+            )
+        return float(value)
+    raise TypeError(f"unknown attribute type: {attr_type!r}")  # pragma: no cover

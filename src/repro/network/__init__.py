@@ -1,0 +1,34 @@
+"""Broker overlay substrate: topologies, backbones, metrics, simulator."""
+
+from repro.network.backbone import CW24_CITIES, cable_wireless_24, scale_free_backbone
+from repro.network.faults import LossyNetwork
+from repro.network.federation import Federation, federate, three_isp_federation
+from repro.network.latency import (
+    LatencyModel,
+    SeededLatency,
+    TimedNetwork,
+    UniformLatency,
+)
+from repro.network.metrics import NetworkMetrics
+from repro.network.simulator import BrokerHandler, Network, NetworkError
+from repro.network.topology import Topology, paper_example_tree
+
+__all__ = [
+    "CW24_CITIES",
+    "BrokerHandler",
+    "LatencyModel",
+    "Federation",
+    "LossyNetwork",
+    "SeededLatency",
+    "TimedNetwork",
+    "UniformLatency",
+    "Network",
+    "NetworkError",
+    "NetworkMetrics",
+    "Topology",
+    "cable_wireless_24",
+    "federate",
+    "three_isp_federation",
+    "paper_example_tree",
+    "scale_free_backbone",
+]

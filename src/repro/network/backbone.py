@@ -1,0 +1,125 @@
+"""ISP backbone overlay topologies.
+
+The paper runs its evaluation on "an overlay network topology like that of
+the backbone network of U.S. Cable and Wireless plc, having 24 nodes"
+(citing a now-dead corporate URL), noting such single-ISP CDN backbones
+"number from 20 to 33 backbone nodes".
+
+The exact 2003 C&W map is no longer available, so
+:func:`cable_wireless_24` is a *reconstruction*: a 24-city US backbone with
+the characteristic shape of that era's ISP networks — a small number of
+high-degree hub cities (here Dallas and Atlanta at degree 7, Chicago at 6),
+coastal rings, and many degree-2/3 spur cities.  DESIGN.md records this
+substitution; the paper itself states its results "are similar in all
+cases" across the real and artificial topologies it tried, and the
+experiment suite re-checks the headline shapes on trees and random graphs.
+
+:func:`scale_free_backbone` generates comparable synthetic backbones at any
+size (preferential attachment — few hubs, many low-degree nodes) for
+sensitivity sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.network.topology import Topology
+
+__all__ = ["cable_wireless_24", "CW24_CITIES", "scale_free_backbone"]
+
+#: City labels for the reconstructed backbone, index = broker id.
+CW24_CITIES: Tuple[str, ...] = (
+    "Seattle",        # 0
+    "SanFrancisco",   # 1
+    "SanJose",        # 2
+    "LosAngeles",     # 3
+    "SanDiego",       # 4
+    "Phoenix",        # 5
+    "Denver",         # 6
+    "Dallas",         # 7
+    "Houston",        # 8
+    "Austin",         # 9
+    "KansasCity",     # 10
+    "Chicago",        # 11
+    "Minneapolis",    # 12
+    "StLouis",        # 13
+    "Atlanta",        # 14
+    "Miami",          # 15
+    "Orlando",        # 16
+    "WashingtonDC",   # 17
+    "Philadelphia",   # 18
+    "NewYork",        # 19
+    "Boston",         # 20
+    "Detroit",        # 21
+    "Cleveland",      # 22
+    "Raleigh",        # 23
+)
+
+_CW24_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1),    # Seattle - SanFrancisco
+    (0, 6),    # Seattle - Denver
+    (0, 11),   # Seattle - Chicago
+    (0, 12),   # Seattle - Minneapolis
+    (1, 2),    # SanFrancisco - SanJose
+    (1, 3),    # SanFrancisco - LosAngeles
+    (1, 6),    # SanFrancisco - Denver
+    (2, 3),    # SanJose - LosAngeles
+    (3, 4),    # LosAngeles - SanDiego
+    (3, 5),    # LosAngeles - Phoenix
+    (3, 7),    # LosAngeles - Dallas
+    (4, 5),    # SanDiego - Phoenix
+    (5, 7),    # Phoenix - Dallas
+    (6, 7),    # Denver - Dallas
+    (6, 10),   # Denver - KansasCity
+    (7, 8),    # Dallas - Houston
+    (7, 9),    # Dallas - Austin
+    (7, 10),   # Dallas - KansasCity
+    (7, 14),   # Dallas - Atlanta
+    (8, 9),    # Houston - Austin
+    (8, 14),   # Houston - Atlanta
+    (10, 11),  # KansasCity - Chicago
+    (10, 13),  # KansasCity - StLouis
+    (11, 12),  # Chicago - Minneapolis
+    (11, 13),  # Chicago - StLouis
+    (11, 19),  # Chicago - NewYork
+    (11, 21),  # Chicago - Detroit
+    (13, 14),  # StLouis - Atlanta
+    (14, 15),  # Atlanta - Miami
+    (14, 16),  # Atlanta - Orlando
+    (14, 17),  # Atlanta - WashingtonDC
+    (14, 23),  # Atlanta - Raleigh
+    (15, 16),  # Miami - Orlando
+    (17, 18),  # WashingtonDC - Philadelphia
+    (17, 19),  # WashingtonDC - NewYork
+    (17, 23),  # WashingtonDC - Raleigh
+    (18, 19),  # Philadelphia - NewYork
+    (19, 20),  # NewYork - Boston
+    (19, 22),  # NewYork - Cleveland
+    (20, 22),  # Boston - Cleveland
+    (21, 22),  # Detroit - Cleveland
+)
+
+
+def cable_wireless_24() -> Topology:
+    """The reconstructed 24-node U.S. backbone used by all experiments."""
+    return Topology.from_edges(_CW24_EDGES)
+
+
+def city_of(broker: int) -> str:
+    """Human-readable label for a CW24 broker id."""
+    return CW24_CITIES[broker]
+
+
+def scale_free_backbone(n: int, seed: int = 0, links_per_node: int = 2) -> Topology:
+    """A synthetic backbone of ``n`` nodes with hub-dominated degrees.
+
+    Preferential attachment reproduces the degree mix of real ISP
+    backbones (a few hubs, a long tail of degree-2 spurs), which is the
+    property the degree-driven propagation algorithm is sensitive to.
+    """
+    if n < 3:
+        raise ValueError("a backbone needs at least 3 nodes")
+    graph = nx.barabasi_albert_graph(n, links_per_node, seed=seed)
+    return Topology(graph)

@@ -1,0 +1,74 @@
+"""Fault injection: lossy/duplicating transports.
+
+The paper (like Siena) assumes reliable broker-to-broker channels.  This
+module quantifies that assumption: :class:`LossyNetwork` drops and/or
+duplicates messages with seeded probabilities, so experiments can measure
+
+* **delivery ratio vs drop rate** — how fast Algorithm 3 degrades when
+  its forwarding chain or owner notifications go missing (a dropped
+  EVENT message severs the whole remaining BROCLI search, which is the
+  protocol's known serial weak point), and
+* **duplicate tolerance** — with publish-id de-duplication in the broker
+  layer, duplicated messages must cause zero duplicate consumer
+  deliveries (asserted by tests).
+
+Dropped messages still charge bytes (the sender transmitted them); they
+simply never arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.metrics import NetworkMetrics
+from repro.network.simulator import Network, NetworkError
+from repro.network.topology import Topology
+from repro.wire.messages import Message, MessageCodec
+
+__all__ = ["LossyNetwork"]
+
+
+class LossyNetwork(Network):
+    """A :class:`Network` that loses and duplicates messages."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        codec: Optional[MessageCodec] = None,
+        metrics: Optional[NetworkMetrics] = None,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate probability must be in [0, 1]")
+        super().__init__(topology, codec, metrics)
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.duplicated = 0
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        if src not in self.topology.brokers or dst not in self.topology.brokers:
+            raise NetworkError(f"send between unknown brokers {src} -> {dst}")
+        if src == dst:
+            raise NetworkError(f"broker {src} attempted to send to itself")
+        # The sender always pays for the transmission.
+        size = self.codec.size(message) if self.codec is not None else 0
+        path_length = self.topology.path_length(src, dst)
+        self.metrics.record(src, dst, size, path_length)
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return
+        self._enqueue(dst, src, message)
+        if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
+            self.duplicated += 1
+            self._enqueue(dst, src, message)
+
+    def _enqueue(self, dst: int, src: int, message: Message) -> None:
+        self._pending.append((dst, self._sequence, src, message))
+        self._sequence += 1

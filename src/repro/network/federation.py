@@ -1,0 +1,128 @@
+"""Multi-ISP federated overlays (paper section 6).
+
+The conclusions point at "larger-scale networks (e.g., multi-ISP, global
+CDNs)" as the next deployment target.  Structurally that is a *federation*:
+several single-ISP backbones, each like the paper's 24-node overlay,
+joined by a few inter-ISP peering links between designated gateway
+brokers.
+
+:func:`federate` builds exactly that — it relabels each member topology
+into a disjoint id range, adds the peering links, and returns the combined
+:class:`~repro.network.topology.Topology` plus a :class:`Federation`
+descriptor mapping global broker ids back to (ISP, local id).  The
+summary algorithms run unchanged on the federated overlay (that is the
+point of the paper's remark that scaling up "basically only requires
+changing the c3 field", i.e. widening the id space); the descriptor lets
+experiments report intra- vs inter-ISP traffic separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.backbone import scale_free_backbone
+from repro.network.topology import Topology
+
+__all__ = ["Federation", "federate", "three_isp_federation"]
+
+
+@dataclass(frozen=True)
+class Federation:
+    """Mapping between global broker ids and (isp, local id) pairs."""
+
+    isp_ranges: Tuple[Tuple[int, int], ...]  # per ISP: (offset, size)
+    peering_links: Tuple[Tuple[int, int], ...]  # global-id gateway pairs
+
+    @property
+    def num_isps(self) -> int:
+        return len(self.isp_ranges)
+
+    def isp_of(self, broker: int) -> int:
+        for isp, (offset, size) in enumerate(self.isp_ranges):
+            if offset <= broker < offset + size:
+                return isp
+        raise ValueError(f"broker {broker} not in any ISP range")
+
+    def local_id(self, broker: int) -> int:
+        offset, _size = self.isp_ranges[self.isp_of(broker)]
+        return broker - offset
+
+    def global_id(self, isp: int, local: int) -> int:
+        offset, size = self.isp_ranges[isp]
+        if not 0 <= local < size:
+            raise ValueError(f"ISP {isp} has no broker {local}")
+        return offset + local
+
+    def brokers_of(self, isp: int) -> range:
+        offset, size = self.isp_ranges[isp]
+        return range(offset, offset + size)
+
+    def is_inter_isp(self, a: int, b: int) -> bool:
+        return self.isp_of(a) != self.isp_of(b)
+
+    def gateways(self) -> List[int]:
+        seen: Dict[int, None] = {}
+        for a, b in self.peering_links:
+            seen.setdefault(a)
+            seen.setdefault(b)
+        return sorted(seen)
+
+
+def federate(
+    members: Sequence[Topology],
+    peering: Sequence[Tuple[Tuple[int, int], Tuple[int, int]]],
+) -> Tuple[Topology, Federation]:
+    """Join member topologies with peering links.
+
+    ``peering`` entries are ``((isp_a, local_a), (isp_b, local_b))`` pairs
+    naming the gateway brokers in member-local ids.  The federation must
+    end up connected (Topology enforces it).
+    """
+    if not members:
+        raise ValueError("a federation needs at least one member")
+    ranges: List[Tuple[int, int]] = []
+    offset = 0
+    edges: List[Tuple[int, int]] = []
+    for member in members:
+        ranges.append((offset, member.num_brokers))
+        edges.extend((offset + a, offset + b) for a, b in member.edges())
+        offset += member.num_brokers
+    links: List[Tuple[int, int]] = []
+    for (isp_a, local_a), (isp_b, local_b) in peering:
+        if isp_a == isp_b:
+            raise ValueError("peering links must join different ISPs")
+        for isp, local in ((isp_a, local_a), (isp_b, local_b)):
+            if not 0 <= isp < len(members):
+                raise ValueError(f"no ISP {isp} in the federation")
+            if not 0 <= local < members[isp].num_brokers:
+                raise ValueError(f"ISP {isp} has no broker {local}")
+        link = (ranges[isp_a][0] + local_a, ranges[isp_b][0] + local_b)
+        links.append(link)
+        edges.append(link)
+    topology = Topology.from_edges(edges)
+    federation = Federation(
+        isp_ranges=tuple(ranges), peering_links=tuple(links)
+    )
+    return topology, federation
+
+
+def three_isp_federation(
+    sizes: Tuple[int, int, int] = (16, 24, 12), seed: int = 0
+) -> Tuple[Topology, Federation]:
+    """A ready-made three-ISP global overlay (scale-free members, ring of
+    peering links between each member's highest-degree broker)."""
+    members = [
+        scale_free_backbone(size, seed=seed + index)
+        for index, size in enumerate(sizes)
+    ]
+    hubs = [
+        max(member.brokers, key=lambda b, m=member: (m.degree(b), -b))
+        for member in members
+    ]
+    peering = [
+        ((0, hubs[0]), (1, hubs[1])),
+        ((1, hubs[1]), (2, hubs[2])),
+        ((2, hubs[2]), (0, hubs[0])),
+    ]
+    return federate(members, peering)

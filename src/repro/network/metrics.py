@@ -1,0 +1,98 @@
+"""Metric accounting for the evaluation (paper section 5).
+
+The paper's primary metrics, and how we count them:
+
+* **Network bandwidth** — "measured as the size (in bytes) a broker
+  exchanges with all the others".  A message from ``src`` to ``dst`` is
+  charged ``encoded_size x overlay_path_length(src, dst)`` bytes, so a
+  direct (non-neighbor) send pays for every underlying link it crosses.
+  This matches the baseline formula, which multiplies by the average
+  broker-to-broker hop distance.
+* **Hops** — "we count as one hop every message that is being sent from a
+  broker to another (regardless of whether the two brokers are neighbors
+  in the overlay)"; this counts *broker involvement*.  We record both this
+  logical count (``hops``) and the underlying link traversals
+  (``link_hops``) for completeness.
+* **Storage** — accounted separately by the systems (summary/table sizes),
+  not by the network layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Mutable counters, one instance per measurement phase."""
+
+    messages: int = 0
+    hops: int = 0  # logical: one per broker-to-broker message
+    link_hops: int = 0  # underlying overlay links traversed
+    bytes_sent: int = 0  # size x path length, summed
+    payload_bytes: int = 0  # size only, summed (path-independent)
+    per_broker_sent: Dict[int, int] = field(default_factory=dict)
+    per_broker_received: Dict[int, int] = field(default_factory=dict)
+    per_broker_bytes: Dict[int, int] = field(default_factory=dict)
+    #: (src, dst) -> bytes x path-length — lets federations and ablations
+    #: classify traffic by endpoint pair (e.g. intra- vs inter-ISP).
+    per_pair_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, size: int, path_length: int) -> None:
+        if size < 0 or path_length < 0:
+            raise ValueError("size and path length must be non-negative")
+        self.messages += 1
+        self.hops += 1
+        self.link_hops += path_length
+        self.bytes_sent += size * path_length
+        self.payload_bytes += size
+        self.per_broker_sent[src] = self.per_broker_sent.get(src, 0) + 1
+        self.per_broker_received[dst] = self.per_broker_received.get(dst, 0) + 1
+        self.per_broker_bytes[src] = self.per_broker_bytes.get(src, 0) + size * path_length
+        pair = (src, dst)
+        self.per_pair_bytes[pair] = self.per_pair_bytes.get(pair, 0) + size * path_length
+
+    def merge(self, other: "NetworkMetrics") -> None:
+        self.messages += other.messages
+        self.hops += other.hops
+        self.link_hops += other.link_hops
+        self.bytes_sent += other.bytes_sent
+        self.payload_bytes += other.payload_bytes
+        for table_name in (
+            "per_broker_sent",
+            "per_broker_received",
+            "per_broker_bytes",
+            "per_pair_bytes",
+        ):
+            mine = getattr(self, table_name)
+            for broker, count in getattr(other, table_name).items():
+                mine[broker] = mine.get(broker, 0) + count
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.hops = 0
+        self.link_hops = 0
+        self.bytes_sent = 0
+        self.payload_bytes = 0
+        self.per_broker_sent.clear()
+        self.per_broker_received.clear()
+        self.per_broker_bytes.clear()
+        self.per_pair_bytes.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "hops": self.hops,
+            "link_hops": self.link_hops,
+            "bytes_sent": self.bytes_sent,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkMetrics(messages={self.messages}, hops={self.hops}, "
+            f"bytes={self.bytes_sent})"
+        )

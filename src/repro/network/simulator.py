@@ -1,0 +1,129 @@
+"""A synchronous message-passing simulator for broker overlays.
+
+All three systems (summary-based, Siena-style, broadcast baseline) run on
+this substrate.  The model is deliberately simple — the paper's metrics
+(bytes, hops, broker involvement, storage) are *counting* metrics, so a
+round-based delivery model measures them exactly without needing timing:
+
+* a broker handler is any object with ``receive(src, message) -> None``;
+* ``send`` encodes the message once (charging real bytes times the overlay
+  path length between the endpoints) and enqueues it;
+* ``step`` delivers everything currently queued (one "round"); handlers may
+  send more, which lands in the next round;
+* ``run`` steps until the network is quiet.
+
+Delivery within a round is ordered by (dst, sequence) so runs are
+deterministic regardless of dict/hash ordering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.network.metrics import NetworkMetrics
+from repro.network.topology import Topology
+from repro.wire.messages import Message, MessageCodec
+
+__all__ = ["Network", "BrokerHandler", "NetworkError"]
+
+
+class NetworkError(RuntimeError):
+    """Misuse of the simulated network (unknown broker, no handler, ...)."""
+
+
+class BrokerHandler(Protocol):
+    """What the network expects of an attached broker object."""
+
+    def receive(self, src: int, message: Message) -> None:  # pragma: no cover
+        ...
+
+
+class Network:
+    """The simulated overlay: topology + codec + metric accounting."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        codec: Optional[MessageCodec] = None,
+        metrics: Optional[NetworkMetrics] = None,
+    ):
+        self.topology = topology
+        self.codec = codec
+        self.metrics = metrics if metrics is not None else NetworkMetrics()
+        self._handlers: Dict[int, BrokerHandler] = {}
+        self._pending: List[Tuple[int, int, int, Message]] = []  # (dst, seq, src, msg)
+        self._sequence = 0
+        self.rounds_run = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, broker_id: int, handler: BrokerHandler) -> None:
+        if broker_id not in self.topology.brokers:
+            raise NetworkError(f"broker {broker_id} not in topology")
+        if broker_id in self._handlers:
+            raise NetworkError(f"broker {broker_id} already attached")
+        self._handlers[broker_id] = handler
+
+    def handler(self, broker_id: int) -> BrokerHandler:
+        try:
+            return self._handlers[broker_id]
+        except KeyError:
+            raise NetworkError(f"no handler attached for broker {broker_id}") from None
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Queue a message for next-round delivery, charging its bytes."""
+        if src not in self.topology.brokers or dst not in self.topology.brokers:
+            raise NetworkError(f"send between unknown brokers {src} -> {dst}")
+        if src == dst:
+            raise NetworkError(f"broker {src} attempted to send to itself")
+        size = self.codec.size(message) if self.codec is not None else 0
+        path_length = self.topology.path_length(src, dst)
+        self.metrics.record(src, dst, size, path_length)
+        self._pending.append((dst, self._sequence, src, message))
+        self._sequence += 1
+
+    # -- delivery -----------------------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def step(self) -> int:
+        """Deliver every currently queued message; return how many."""
+        batch = sorted(self._pending)
+        self._pending = []
+        for dst, _seq, src, message in batch:
+            self.handler(dst).receive(src, message)
+        if batch:
+            self.rounds_run += 1
+        return len(batch)
+
+    def flush_iteration(self) -> int:
+        """Deliver everything already sent (used between Algorithm-2
+        iterations).  Messages sent *during* these deliveries stay queued.
+        The base (round) network does this in one step; the timed variant
+        overrides it to drain its heap in timestamp order."""
+        return self.step()
+
+    def run(self, max_rounds: int = 10_000) -> int:
+        """Step until quiet.  Returns rounds executed; raises if the
+        message flow fails to quiesce (a routing loop)."""
+        rounds = 0
+        while self.has_pending:
+            if rounds >= max_rounds:
+                raise NetworkError(
+                    f"network did not quiesce within {max_rounds} rounds "
+                    f"({len(self._pending)} messages still pending)"
+                )
+            self.step()
+            rounds += 1
+        return rounds
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.topology!r}, {len(self._handlers)} handlers, "
+            f"{len(self._pending)} pending)"
+        )

@@ -1,0 +1,197 @@
+"""Broker overlay topologies.
+
+The brokers of the Event Brokering Network form an overlay graph.  The
+propagation algorithm (paper section 4.2) is driven entirely by broker
+*degrees* in this overlay, and the evaluation measures hop counts over it,
+so the topology type exposes exactly those notions: degrees, neighbors,
+BFS/spanning trees (for the Siena comparator) and shortest-path lengths
+(for charging multi-hop messages).
+
+Brokers are numbered ``0 .. n-1``.  The paper's figure-7 example tree uses
+ids 1..13; :func:`paper_example_tree` keeps the paper's numbering shifted
+down by one (paper broker *k* is node *k-1*) so docs can cross-reference.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["Topology", "paper_example_tree"]
+
+
+class Topology:
+    """An immutable, connected, simple broker overlay graph."""
+
+    def __init__(self, graph: nx.Graph):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology must have at least one broker")
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("broker ids must be exactly 0..n-1")
+        if any(graph.has_edge(node, node) for node in nodes):
+            raise ValueError("self-loops are not allowed")
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise ValueError("topology must be connected")
+        self._graph = nx.freeze(graph.copy())
+        self._degrees: Dict[int, int] = dict(self._graph.degree())
+        self._path_lengths: Optional[Dict[int, Dict[int, int]]] = None
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def num_brokers(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def brokers(self) -> range:
+        return range(self.num_brokers)
+
+    def neighbors(self, broker: int) -> List[int]:
+        return sorted(self._graph.neighbors(broker))
+
+    def degree(self, broker: int) -> int:
+        return self._degrees[broker]
+
+    @property
+    def max_degree(self) -> int:
+        return max(self._degrees.values())
+
+    def brokers_by_degree(self, degree: int) -> List[int]:
+        return sorted(b for b, d in self._degrees.items() if d == degree)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._graph.edges())
+
+    def is_tree(self) -> bool:
+        return self.num_links == self.num_brokers - 1
+
+    # -- paths ---------------------------------------------------------------------
+
+    def _lengths(self) -> Dict[int, Dict[int, int]]:
+        if self._path_lengths is None:
+            self._path_lengths = {
+                source: dict(lengths)
+                for source, lengths in nx.all_pairs_shortest_path_length(self._graph)
+            }
+        return self._path_lengths
+
+    def path_length(self, a: int, b: int) -> int:
+        """Overlay shortest-path length in links (0 when ``a == b``)."""
+        return self._lengths()[a][b]
+
+    def average_path_length(self) -> float:
+        """Mean shortest-path length over ordered distinct broker pairs —
+        the "average number of hops (from any broker to any other)" in the
+        paper's baseline bandwidth formula."""
+        n = self.num_brokers
+        if n < 2:
+            return 0.0
+        lengths = self._lengths()
+        total = sum(
+            dist for source in lengths.values() for dist in source.values()
+        )
+        return total / (n * (n - 1))
+
+    def bfs_tree(self, root: int) -> Dict[int, List[int]]:
+        """Children lists of the BFS (minimum, unweighted) spanning tree
+        rooted at ``root`` — Siena propagates along these trees."""
+        children: Dict[int, List[int]] = {broker: [] for broker in self.brokers}
+        for parent, child in nx.bfs_edges(self._graph, root):
+            children[parent].append(child)
+        return children
+
+    def bfs_parents(self, root: int) -> Dict[int, int]:
+        """Parent pointers of the BFS tree (root excluded)."""
+        return {child: parent for parent, child in nx.bfs_edges(self._graph, root)}
+
+    # -- factories -----------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "Topology":
+        graph = nx.Graph()
+        graph.add_edges_from(edges)
+        if graph.number_of_nodes():
+            graph.add_nodes_from(range(max(graph.nodes) + 1))
+        return cls(graph)
+
+    @classmethod
+    def line(cls, n: int) -> "Topology":
+        return cls(nx.path_graph(n))
+
+    @classmethod
+    def star(cls, n: int) -> "Topology":
+        """One hub (broker 0) with ``n - 1`` leaves."""
+        return cls(nx.star_graph(n - 1))
+
+    @classmethod
+    def balanced_tree(cls, branching: int, height: int) -> "Topology":
+        return cls(nx.convert_node_labels_to_integers(nx.balanced_tree(branching, height)))
+
+    @classmethod
+    def random_tree(cls, n: int, seed: int = 0) -> "Topology":
+        """A uniformly random labelled tree (Prüfer sequence)."""
+        if n < 1:
+            raise ValueError("need at least one broker")
+        if n <= 2:
+            return cls(nx.path_graph(n))
+        rng = random.Random(seed)
+        prufer = [rng.randrange(n) for _ in range(n - 2)]
+        graph = nx.from_prufer_sequence(prufer)
+        return cls(graph)
+
+    @classmethod
+    def random_connected(cls, n: int, extra_links: int, seed: int = 0) -> "Topology":
+        """A random tree plus ``extra_links`` random chords (stays simple)."""
+        base = cls.random_tree(n, seed)
+        graph = nx.Graph(base.graph)
+        rng = random.Random(seed + 1)
+        attempts = 0
+        added = 0
+        while added < extra_links and attempts < 100 * (extra_links + 1):
+            a, b = rng.randrange(n), rng.randrange(n)
+            attempts += 1
+            if a != b and not graph.has_edge(a, b):
+                graph.add_edge(a, b)
+                added += 1
+        return cls(graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.num_brokers} brokers, {self.num_links} links, "
+            f"max degree {self.max_degree})"
+        )
+
+
+def paper_example_tree() -> Topology:
+    """The 13-broker tree of paper figure 7 (paper broker k = node k-1).
+
+    Degrees: node 4 (paper broker 5) has the maximum degree 5; paper
+    brokers 8 and 11 have degree 3; 2, 7 and 10 degree 2; the rest are
+    leaves — reconstructed from the worked example in section 4.3.
+    """
+    paper_edges = [
+        (1, 2),
+        (2, 5),
+        (3, 5),
+        (4, 5),
+        (5, 6),
+        (5, 7),
+        (7, 8),
+        (8, 9),
+        (8, 10),
+        (10, 11),
+        (11, 12),
+        (11, 13),
+    ]
+    return Topology.from_edges((a - 1, b - 1) for a, b in paper_edges)

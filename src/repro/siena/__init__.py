@@ -1,0 +1,19 @@
+"""Siena-style comparator: real covering engine + the paper's probabilistic
+evaluation model."""
+
+from repro.siena.broker import LOCAL_INTERFACE, SienaBroker
+from repro.siena.covering import constraint_covers, subscription_covers
+from repro.siena.poset import CoveringSet
+from repro.siena.probmodel import PropagationSample, SienaProbModel
+from repro.siena.system import SienaPubSub
+
+__all__ = [
+    "LOCAL_INTERFACE",
+    "CoveringSet",
+    "PropagationSample",
+    "SienaBroker",
+    "SienaProbModel",
+    "SienaPubSub",
+    "constraint_covers",
+    "subscription_covers",
+]

@@ -1,0 +1,187 @@
+"""The paper's probabilistic Siena evaluation model (section 5.2).
+
+The paper did not run the real Siena code; it modeled subsumption
+statistically:
+
+* "at each broker B, with a probability equal to the subscription
+  subsumption probability, B did not forward each subscription it received
+  to each of its neighbors";
+* "not all brokers have the same subsumption probability ... each broker's
+  subsumption probability is determined as the maximum subsumption
+  probability times the fraction of this broker's degree over the maximum
+  degree";
+* propagation follows, per origin broker, a minimum (BFS) spanning tree:
+  "for every broker B a minimum spanning tree is formed and the
+  subscriptions are forwarded from neighbor to neighbor from B until they
+  have reached all brokers or until they are subsumed";
+* events are "routed following the reverse path put in place by the
+  subscription's propagation" — to a set of matched brokers drawn by the
+  event-popularity parameter.
+
+This module reproduces exactly that model so figures 8-11 compare like
+with like.  The functional covering-based Siena lives in
+:mod:`repro.siena.system` and is used by the correctness test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.network.topology import Topology
+
+__all__ = ["SienaProbModel", "PropagationSample"]
+
+
+@dataclass
+class PropagationSample:
+    """Outcome of propagating one subscription from one origin broker."""
+
+    origin: int
+    forwards: List[Tuple[int, int]]  # (src, dst) broker-to-broker sends
+    reached: Set[int]  # brokers that received the subscription
+
+    @property
+    def hops(self) -> int:
+        return len(self.forwards)
+
+
+class SienaProbModel:
+    """Monte-Carlo model of Siena's subsumption-pruned flooding."""
+
+    def __init__(self, topology: Topology, max_subsumption: float, seed: int = 0):
+        if not 0.0 <= max_subsumption <= 1.0:
+            raise ValueError("subsumption probability must be in [0, 1]")
+        self.topology = topology
+        self.max_subsumption = max_subsumption
+        self._rng = random.Random(seed)
+        self._trees: Dict[int, Dict[int, List[int]]] = {}
+
+    # -- per-broker probability (degree-scaled) ----------------------------------
+
+    def broker_probability(self, broker: int) -> float:
+        """p_B = max_probability x degree(B) / max_degree."""
+        return (
+            self.max_subsumption
+            * self.topology.degree(broker)
+            / self.topology.max_degree
+        )
+
+    def _tree(self, origin: int) -> Dict[int, List[int]]:
+        tree = self._trees.get(origin)
+        if tree is None:
+            tree = self._trees[origin] = self.topology.bfs_tree(origin)
+        return tree
+
+    # -- subscription propagation -----------------------------------------------------
+
+    def propagate_one(self, origin: int) -> PropagationSample:
+        """Forward one subscription from ``origin`` down its BFS tree.
+
+        The origin always sends to its tree children (it cannot subsume its
+        own client's subscription); every other broker drops each outgoing
+        forward independently with its subsumption probability.
+        """
+        tree = self._tree(origin)
+        forwards: List[Tuple[int, int]] = []
+        reached: Set[int] = {origin}
+        frontier: List[int] = [origin]
+        while frontier:
+            node = frontier.pop()
+            drop_probability = 0.0 if node == origin else self.broker_probability(node)
+            for child in tree[node]:
+                if drop_probability and self._rng.random() < drop_probability:
+                    continue  # subsumed here: the whole subtree is pruned
+                forwards.append((node, child))
+                reached.add(child)
+                frontier.append(child)
+        return PropagationSample(origin=origin, forwards=forwards, reached=reached)
+
+    def propagation_round(self) -> List[PropagationSample]:
+        """One subscription from every broker (figure 9's unit)."""
+        return [self.propagate_one(origin) for origin in self.topology.brokers]
+
+    def mean_propagation_hops(self, trials: int = 20) -> float:
+        """Mean total broker-to-broker forwards for propagating one
+        subscription from each broker (figure 9's y-axis).  At subsumption
+        0 this is exactly ``n x (n - 1)`` on any connected overlay."""
+        total = 0
+        for _ in range(trials):
+            total += sum(sample.hops for sample in self.propagation_round())
+        return total / trials
+
+    def propagation_bandwidth(
+        self, sigma: int, subscription_size: int, trials: int = 5
+    ) -> float:
+        """Mean total bytes for every broker to propagate ``sigma``
+        subscriptions of ``subscription_size`` bytes (figure 8's Siena
+        series).  Per-subscription pruning decisions are independent."""
+        total = 0
+        for _ in range(trials):
+            for origin in self.topology.brokers:
+                for _sub in range(sigma):
+                    total += self.propagate_one(origin).hops * subscription_size
+        return total / trials
+
+    def storage_bytes(
+        self, outstanding: int, subscription_size: int, trials: int = 5
+    ) -> float:
+        """Mean total bytes of subscriptions stored across all brokers when
+        every broker owns ``outstanding`` subscriptions (figure 11's Siena
+        series).  A broker stores its own plus every foreign subscription
+        that reached it."""
+        total = 0
+        for _ in range(trials):
+            stored = 0
+            for origin in self.topology.brokers:
+                for _sub in range(outstanding):
+                    stored += len(self.propagate_one(origin).reached)
+            total += stored * subscription_size
+        return total / trials
+
+    # -- event routing ------------------------------------------------------------------
+
+    def event_routing_hops(self, publisher: int, matched: Iterable[int]) -> int:
+        """Hops to route one event from ``publisher`` to every matched
+        broker along reverse subscription paths.
+
+        Reverse paths from the publisher coincide with the publisher's BFS
+        tree branches toward each matched broker; shared path prefixes
+        carry the event once, so the cost is the size of the union of the
+        tree-path edges (the induced Steiner subtree).
+        """
+        parents = self.topology.bfs_parents(publisher)
+        edges: Set[Tuple[int, int]] = set()
+        for target in matched:
+            node = target
+            while node != publisher:
+                parent = parents[node]
+                edge = (parent, node)
+                if edge in edges:
+                    break  # the rest of the path is already paid for
+                edges.add(edge)
+                node = parent
+        return len(edges)
+
+    def mean_event_hops(
+        self,
+        events_per_broker: int,
+        popularity: float,
+        seed: int = 0,
+    ) -> float:
+        """Mean event-routing hops with ``popularity`` x n matched brokers
+        drawn uniformly per event (figure 10's Siena series)."""
+        if not 0.0 < popularity <= 1.0:
+            raise ValueError("popularity must be in (0, 1]")
+        rng = random.Random(seed)
+        n = self.topology.num_brokers
+        matched_count = max(1, round(popularity * n))
+        total = 0
+        events = 0
+        for publisher in self.topology.brokers:
+            for _ in range(events_per_broker):
+                matched = rng.sample(range(n), matched_count)
+                total += self.event_routing_hops(publisher, matched)
+                events += 1
+        return total / events

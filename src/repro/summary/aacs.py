@@ -1,0 +1,276 @@
+"""AACS — Arithmetic Attribute Constraint Summaries (paper section 3.1).
+
+For each arithmetic attribute a broker keeps:
+
+* ``AACS_SR`` — an array of value sub-ranges (min/max columns), each row
+  carrying the list of subscription ids whose constraint is satisfied by
+  values in the row, and
+* ``AACS_E`` — an array of equality values outside the sub-ranges, likewise
+  with id lists.
+
+Two precision modes (see :mod:`repro.summary.precision`):
+
+``COARSE`` (paper behavior)
+    Overlapping/touching sub-ranges union-merge into one wider row whose id
+    list is the union.  Equality points swallowed by a widening row migrate
+    into it.  An id attached to a widened row can be reported for values its
+    original constraint excluded; the owning broker re-checks exactly.
+
+``EXACT``
+    Rows form a *partition*: inserting an interval splits existing rows at
+    its boundaries so every row's id list is exactly the set of ids whose
+    constraint covers every value in the row.  Equality points always live
+    in ``AACS_E`` (they may fall inside a row; matching consults both
+    arrays), so no false positives arise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.model.ids import SubscriptionId
+from repro.summary.intervals import Interval, IntervalSet
+from repro.summary.precision import Precision
+
+__all__ = ["AACS", "RangeRow"]
+
+
+@dataclass
+class RangeRow:
+    """One AACS_SR row: a value sub-range plus its subscription-id list."""
+
+    interval: Interval
+    ids: Set[SubscriptionId] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        return f"{self.interval} -> {sorted(self.ids)}"
+
+
+class AACS:
+    """The per-attribute arithmetic constraint summary."""
+
+    __slots__ = ("precision", "_ranges", "_equalities", "_eq_keys")
+
+    def __init__(self, precision: Precision = Precision.COARSE):
+        self.precision = precision
+        self._ranges: List[RangeRow] = []  # sorted by (lo, lo_open), disjoint
+        self._equalities: Dict[float, Set[SubscriptionId]] = {}
+        self._eq_keys: List[float] = []  # sorted keys of _equalities
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_sr(self) -> int:
+        """Number of sub-range rows (the paper's ``nsr``)."""
+        return len(self._ranges)
+
+    @property
+    def n_e(self) -> int:
+        """Number of equality rows (the paper's ``ne``)."""
+        return len(self._equalities)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._ranges and not self._equalities
+
+    def range_rows(self) -> Tuple[RangeRow, ...]:
+        return tuple(self._ranges)
+
+    def equality_rows(self) -> Tuple[Tuple[float, FrozenSet[SubscriptionId]], ...]:
+        return tuple((v, frozenset(ids)) for v, ids in sorted(self._equalities.items()))
+
+    def all_ids(self) -> Set[SubscriptionId]:
+        ids: Set[SubscriptionId] = set()
+        for row in self._ranges:
+            ids |= row.ids
+        for point_ids in self._equalities.values():
+            ids |= point_ids
+        return ids
+
+    def id_list_entries(self) -> int:
+        """Total id-list entries across rows — the ``La`` term of eq. (1)."""
+        return sum(len(row.ids) for row in self._ranges) + sum(
+            len(ids) for ids in self._equalities.values()
+        )
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, values: IntervalSet, sid: SubscriptionId) -> None:
+        """Insert one subscription's satisfied-value set for this attribute.
+
+        ``values`` is the conjunction of the subscription's constraints on
+        the attribute (see :func:`repro.summary.intervals
+        .intervals_for_conjunction`); an empty set (contradictory
+        constraints) inserts nothing, so the subscription can never match.
+        """
+        for interval in values:
+            self.insert_interval(interval, {sid})
+
+    def insert_interval(self, interval: Interval, ids: Iterable[SubscriptionId]) -> None:
+        id_set = set(ids)
+        if not id_set:
+            return
+        if interval.is_point:
+            self._insert_point(interval.lo, id_set)
+        elif self.precision is Precision.COARSE:
+            self._insert_coarse(interval, id_set)
+        else:
+            self._insert_exact(interval, id_set)
+
+    def _insert_point(self, value: float, ids: Set[SubscriptionId]) -> None:
+        if self.precision is Precision.COARSE:
+            # Paper rule: AACS_E is only for values "not included in the
+            # existing sub-ranges" — a covered point joins the covering row.
+            row = self._find_containing_row(value)
+            if row is not None:
+                row.ids |= ids
+                return
+        existing = self._equalities.get(value)
+        if existing is not None:
+            existing.update(ids)
+        else:
+            self._equalities[value] = set(ids)
+            bisect.insort(self._eq_keys, value)
+
+    def _insert_coarse(self, interval: Interval, ids: Set[SubscriptionId]) -> None:
+        merged_interval = interval
+        merged_ids = set(ids)
+        keep: List[RangeRow] = []
+        for row in self._ranges:
+            if row.interval.touches(merged_interval):
+                merged_interval = row.interval.union_with(merged_interval)
+                merged_ids |= row.ids
+            else:
+                keep.append(row)
+        # Equality points swallowed by the widened row migrate into it
+        # (bisect over the sorted keys keeps this O(log n + swallowed)).
+        lo_idx = bisect.bisect_left(self._eq_keys, merged_interval.lo)
+        hi_idx = bisect.bisect_right(self._eq_keys, merged_interval.hi)
+        swallowed = [
+            v for v in self._eq_keys[lo_idx:hi_idx] if merged_interval.contains(v)
+        ]
+        for value in swallowed:
+            merged_ids |= self._equalities.pop(value)
+        if swallowed:
+            self._eq_keys[lo_idx:hi_idx] = [
+                v for v in self._eq_keys[lo_idx:hi_idx] if v in self._equalities
+            ]
+        keep.append(RangeRow(merged_interval, merged_ids))
+        keep.sort(key=_row_key)
+        self._ranges = keep
+
+    def _insert_exact(self, interval: Interval, ids: Set[SubscriptionId]) -> None:
+        remaining: List[Interval] = [interval]
+        next_rows: List[RangeRow] = []
+        for row in self._ranges:
+            shared = row.interval.intersect(interval)
+            if shared is None:
+                next_rows.append(row)
+                continue
+            # Parts of the old row outside the new interval keep old ids.
+            for piece in row.interval.subtract(interval):
+                next_rows.append(RangeRow(piece, set(row.ids)))
+            # The overlap carries both id sets.
+            next_rows.append(RangeRow(shared, row.ids | ids))
+            # Shrink the not-yet-covered remainder of the new interval.
+            remaining = [
+                piece
+                for part in remaining
+                for piece in part.subtract(row.interval)
+            ]
+        for piece in remaining:
+            if piece.is_point:
+                point_ids = self._equalities.get(piece.lo)
+                if point_ids is not None:
+                    point_ids.update(ids)
+                else:
+                    self._equalities[piece.lo] = set(ids)
+                    bisect.insort(self._eq_keys, piece.lo)
+            else:
+                next_rows.append(RangeRow(piece, set(ids)))
+        next_rows.sort(key=_row_key)
+        self._ranges = next_rows
+
+    # -- matching ------------------------------------------------------------
+
+    def match(self, value: float) -> Set[SubscriptionId]:
+        """All subscription ids whose summarized constraint admits ``value``."""
+        matched: Set[SubscriptionId] = set()
+        row = self._find_containing_row(value)
+        if row is not None:
+            matched |= row.ids
+        point_ids = self._equalities.get(value)
+        if point_ids:
+            matched |= point_ids
+        return matched
+
+    def _find_containing_row(self, value: float) -> Optional[RangeRow]:
+        if not self._ranges:
+            return None
+        lows = [row.interval.lo for row in self._ranges]
+        idx = bisect.bisect_right(lows, value)
+        # The containing row (rows are disjoint, so there is at most one)
+        # has the greatest lo <= value, but an open lower bound equal to
+        # ``value`` means the previous row could be the one; check both.
+        for candidate in (idx - 1, idx - 2):
+            if 0 <= candidate and self._ranges[candidate].interval.contains(value):
+                return self._ranges[candidate]
+        return None
+
+    # -- maintenance -----------------------------------------------------------
+
+    def remove(self, sid: SubscriptionId) -> bool:
+        """Remove an id from every row; drop rows left empty.
+
+        In COARSE mode row bounds are *not* re-narrowed (the merged range
+        no longer remembers which piece belonged to whom) — a periodic
+        rebuild (:mod:`repro.summary.maintenance`) re-compacts.
+        """
+        found = False
+        keep: List[RangeRow] = []
+        for row in self._ranges:
+            if sid in row.ids:
+                found = True
+                row.ids.discard(sid)
+            if row.ids:
+                keep.append(row)
+        self._ranges = keep
+        emptied = False
+        for value in list(self._equalities):
+            ids = self._equalities[value]
+            if sid in ids:
+                found = True
+                ids.discard(sid)
+                if not ids:
+                    del self._equalities[value]
+                    emptied = True
+        if emptied:
+            self._eq_keys = sorted(self._equalities)
+        return found
+
+    def merge(self, other: "AACS") -> None:
+        """Union another attribute summary into this one (multi-broker merge)."""
+        if other.precision is not self.precision:
+            raise ValueError("cannot merge summaries with different precision modes")
+        for row in other.range_rows():
+            self.insert_interval(row.interval, set(row.ids))
+        for value, ids in other.equality_rows():
+            self._insert_point(value, set(ids))
+
+    def copy(self) -> "AACS":
+        clone = AACS(self.precision)
+        clone._ranges = [RangeRow(row.interval, set(row.ids)) for row in self._ranges]
+        clone._equalities = {v: set(ids) for v, ids in self._equalities.items()}
+        clone._eq_keys = list(self._eq_keys)
+        return clone
+
+    def __repr__(self) -> str:
+        parts = [str(row) for row in self._ranges]
+        parts += [f"={v} -> {sorted(ids)}" for v, ids in sorted(self._equalities.items())]
+        return f"AACS({'; '.join(parts)})"
+
+
+def _row_key(row: RangeRow) -> Tuple[float, int]:
+    return (row.interval.lo, 1 if row.interval.lo_open else 0)

@@ -1,0 +1,295 @@
+"""Interval algebra for arithmetic constraint summaries.
+
+An AACS row is a value sub-range (paper figure 4).  This module provides the
+underlying interval type with open/closed endpoints and +/-infinity bounds,
+plus :class:`IntervalSet` (a sorted disjoint union) and the translation from
+constraint conjunctions to intervals:
+
+* ``price > 8.30 AND price < 8.70``  ->  ``(8.30, 8.70)``
+* ``price = 8.20``                   ->  the point ``[8.20, 8.20]``
+* ``price != 5``                     ->  ``(-inf, 5) U (5, +inf)``
+
+The paper's AACS stores closed ``[min, max]`` rows; we keep endpoint
+openness so the EXACT precision mode is truly exact, while COARSE mode may
+widen at boundaries (a permitted false positive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.constraints import Constraint, Operator
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "FULL_LINE",
+    "interval_for_constraint",
+    "intervals_for_conjunction",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty real interval with optionally open endpoints."""
+
+    lo: float
+    hi: float
+    lo_open: bool = False
+    hi_open: bool = False
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval bounds cannot be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+        if self.lo == self.hi and (self.lo_open or self.hi_open):
+            raise ValueError("a point interval must be closed on both ends")
+        if math.isinf(self.lo) and self.lo > 0:
+            raise ValueError("lo cannot be +inf")
+        if math.isinf(self.hi) and self.hi < 0:
+            raise ValueError("hi cannot be -inf")
+        # An infinite endpoint is necessarily open.
+        if math.isinf(self.lo) and not self.lo_open:
+            object.__setattr__(self, "lo_open", True)
+        if math.isinf(self.hi) and not self.hi_open:
+            object.__setattr__(self, "hi_open", True)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_bounded(self) -> bool:
+        return not (math.isinf(self.lo) or math.isinf(self.hi))
+
+    def contains(self, value: float) -> bool:
+        if value < self.lo or value > self.hi:
+            return False
+        if value == self.lo and self.lo_open:
+            return False
+        if value == self.hi and self.hi_open:
+            return False
+        return True
+
+    def contains_interval(self, other: "Interval") -> bool:
+        lo_ok = other.lo > self.lo or (
+            other.lo == self.lo and (not self.lo_open or other.lo_open)
+        )
+        hi_ok = other.hi < self.hi or (
+            other.hi == self.hi and (not self.hi_open or other.hi_open)
+        )
+        return lo_ok and hi_ok
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point."""
+        if self.hi < other.lo or other.hi < self.lo:
+            return False
+        if self.hi == other.lo:
+            return not (self.hi_open or other.lo_open)
+        if other.hi == self.lo:
+            return not (other.hi_open or self.lo_open)
+        return True
+
+    def touches(self, other: "Interval") -> bool:
+        """Whether the union of the two intervals is itself an interval."""
+        if self.overlaps(other):
+            return True
+        # Adjacent with exactly one open endpoint at the junction, e.g.
+        # [1, 2) followed by [2, 3]: union is [1, 3].
+        if self.hi == other.lo and (self.hi_open != other.lo_open):
+            return True
+        if other.hi == self.lo and (other.hi_open != self.lo_open):
+            return True
+        return False
+
+    # -- operations ---------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        lo, lo_open = max(
+            (self.lo, self.lo_open), (other.lo, other.lo_open), key=_lo_key
+        )
+        hi, hi_open = min(
+            (self.hi, self.hi_open), (other.hi, other.hi_open), key=_hi_key
+        )
+        if lo > hi or (lo == hi and (lo_open or hi_open)):
+            return None
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def union_with(self, other: "Interval") -> "Interval":
+        """Union of two touching intervals (raises if the union has a gap)."""
+        if not self.touches(other):
+            raise ValueError(f"union of {self} and {other} is not an interval")
+        return self.hull(other)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (may cover a gap)."""
+        lo, lo_open = min(
+            (self.lo, self.lo_open), (other.lo, other.lo_open), key=_lo_key
+        )
+        hi, hi_open = max(
+            (self.hi, self.hi_open), (other.hi, other.hi_open), key=_hi_key
+        )
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def subtract(self, other: "Interval") -> List["Interval"]:
+        """The parts of ``self`` not covered by ``other`` (0, 1 or 2 pieces)."""
+        shared = self.intersect(other)
+        if shared is None:
+            return [self]
+        pieces: List[Interval] = []
+        left = Interval._maybe(self.lo, shared.lo, self.lo_open, not shared.lo_open)
+        if left is not None:
+            pieces.append(left)
+        right = Interval._maybe(shared.hi, self.hi, not shared.hi_open, self.hi_open)
+        if right is not None:
+            pieces.append(right)
+        return pieces
+
+    @staticmethod
+    def _maybe(lo: float, hi: float, lo_open: bool, hi_open: bool) -> Optional["Interval"]:
+        if lo > hi or (lo == hi and (lo_open or hi_open)):
+            return None
+        return Interval(lo, hi, lo_open, hi_open)
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value, False, False)
+
+    def __str__(self) -> str:
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        return f"{left}{self.lo}, {self.hi}{right}"
+
+
+def _lo_key(pair: Tuple[float, bool]) -> Tuple[float, int]:
+    value, is_open = pair
+    # For lower bounds, open is "larger" (starts later) at equal values.
+    return (value, 1 if is_open else 0)
+
+
+def _hi_key(pair: Tuple[float, bool]) -> Tuple[float, int]:
+    value, is_open = pair
+    # For upper bounds, open is "smaller" (ends earlier) at equal values.
+    return (value, 0 if is_open else 1)
+
+
+FULL_LINE = Interval(-math.inf, math.inf, True, True)
+
+
+class IntervalSet:
+    """A union of disjoint, sorted, non-touching intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._intervals: List[Interval] = []
+        for interval in intervals:
+            self.add(interval)
+
+    @classmethod
+    def full(cls) -> "IntervalSet":
+        return cls([FULL_LINE])
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        return tuple(self._intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    def contains(self, value: float) -> bool:
+        return any(interval.contains(value) for interval in self._intervals)
+
+    def add(self, interval: Interval) -> None:
+        """Insert, merging with any touching members to stay canonical."""
+        merged = interval
+        keep: List[Interval] = []
+        for existing in self._intervals:
+            if existing.touches(merged):
+                merged = existing.union_with(merged)
+            else:
+                keep.append(existing)
+        keep.append(merged)
+        keep.sort(key=lambda iv: (iv.lo, iv.lo_open))
+        self._intervals = keep
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        result = IntervalSet()
+        for a in self._intervals:
+            for b in other._intervals:
+                shared = a.intersect(b)
+                if shared is not None:
+                    result.add(shared)
+        return result
+
+    def covers_set(self, other: "IntervalSet") -> bool:
+        """Whether every value in ``other`` is also in ``self``.
+
+        Members of a canonical set are non-touching, so an interval of
+        ``other`` lying inside ``self``'s union must lie inside a single
+        member — making the check a pairwise containment scan.
+        """
+        return all(
+            any(mine.contains_interval(theirs) for mine in self._intervals)
+            for theirs in other
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __repr__(self) -> str:
+        return " U ".join(str(iv) for iv in self._intervals) or "{}"
+
+
+def interval_for_constraint(constraint: Constraint) -> IntervalSet:
+    """The set of values satisfying one arithmetic constraint."""
+    op = constraint.operator
+    value = float(constraint.value)  # type: ignore[arg-type]
+    if op is Operator.EQ:
+        return IntervalSet([Interval.point(value)])
+    if op is Operator.NE:
+        return IntervalSet(
+            [
+                Interval(-math.inf, value, True, True),
+                Interval(value, math.inf, True, True),
+            ]
+        )
+    if op is Operator.LT:
+        return IntervalSet([Interval(-math.inf, value, True, True)])
+    if op is Operator.LE:
+        return IntervalSet([Interval(-math.inf, value, True, False)])
+    if op is Operator.GT:
+        return IntervalSet([Interval(value, math.inf, True, True)])
+    if op is Operator.GE:
+        return IntervalSet([Interval(value, math.inf, False, True)])
+    raise ValueError(f"not an arithmetic operator: {op!r}")
+
+
+def intervals_for_conjunction(constraints: Iterable[Constraint]) -> IntervalSet:
+    """Values satisfying *all* given constraints on one attribute.
+
+    This is how ``price > 8.30 AND price < 8.70`` becomes the single AACS
+    sub-range of paper figure 4.  The result may be empty (contradictory
+    constraints), a point (pure equality), several pieces (NE present), or
+    unbounded rays.
+    """
+    result = IntervalSet.full()
+    for constraint in constraints:
+        result = result.intersect(interval_for_constraint(constraint))
+        if result.is_empty:
+            break
+    return result

@@ -1,0 +1,187 @@
+"""Summary maintenance: subscription stores, id allocation, and rebuilds.
+
+The paper notes that maintaining summaries in the face of updates is part of
+the design ("algorithms ... for the maintenance of subscriptions in the face
+of updates") but omits details for space.  Our engineering choices, stated
+explicitly:
+
+* Every broker keeps its *own* clients' raw subscriptions in a
+  :class:`SubscriptionStore` — these never leave the broker, so the
+  summary-centric bandwidth/storage benefits are untouched.  The store is
+  what allocates the ``c2`` local ids and performs the exact re-check that
+  makes COARSE summaries safe end-to-end.
+* Unsubscription removes the id from every summary row immediately
+  (cheap, keeps matching correct) but does not re-narrow generalized rows —
+  a COARSE row cannot remember which boundary belonged to whom.
+  :class:`MaintainedSummary` therefore tracks removals and rebuilds the
+  summary from the store once enough garbage accumulates, restoring the
+  compaction level a fresh summary would have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.summary.precision import Precision
+from repro.summary.summary import BrokerSummary
+
+__all__ = ["SubscriptionStore", "MaintainedSummary"]
+
+
+class SubscriptionStore:
+    """A broker's raw subscription table with ``c2`` id allocation."""
+
+    def __init__(self, schema: Schema, broker_id: int):
+        if broker_id < 0:
+            raise ValueError("broker id must be non-negative")
+        self.schema = schema
+        self.broker_id = broker_id
+        self._subscriptions: Dict[SubscriptionId, Subscription] = {}
+        self._next_local_id = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> SubscriptionId:
+        """Store a subscription and mint its (c1, c2, c3) id."""
+        self.schema.validate_subscription(subscription)
+        sid = SubscriptionId(
+            broker=self.broker_id,
+            local_id=self._next_local_id,
+            attr_mask=self.schema.mask_of(subscription),
+        )
+        self._next_local_id += 1
+        self._subscriptions[sid] = subscription
+        return sid
+
+    def unsubscribe(self, sid: SubscriptionId) -> Optional[Subscription]:
+        return self._subscriptions.pop(sid, None)
+
+    @property
+    def next_local_id(self) -> int:
+        """The next ``c2`` value to be minted (snapshot/restore support)."""
+        return self._next_local_id
+
+    def restore(self, sid: SubscriptionId, subscription: Subscription) -> None:
+        """Re-insert a previously-minted entry (snapshot restore).
+
+        The id counter advances past the restored id so future mints can
+        never collide with it.
+        """
+        if sid.broker != self.broker_id:
+            raise ValueError(
+                f"cannot restore {sid} into broker {self.broker_id}'s store"
+            )
+        if sid in self._subscriptions:
+            raise ValueError(f"duplicate restore of {sid}")
+        self.schema.validate_subscription(subscription)
+        self._subscriptions[sid] = subscription
+        self._next_local_id = max(self._next_local_id, sid.local_id + 1)
+
+    def advance_watermark(self, next_local_id: int) -> None:
+        """Ensure future mints start at or beyond ``next_local_id`` —
+        restores a snapshot's counter even when trailing ids were
+        unsubscribed before the snapshot."""
+        self._next_local_id = max(self._next_local_id, next_local_id)
+
+    def get(self, sid: SubscriptionId) -> Optional[Subscription]:
+        return self._subscriptions.get(sid)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sid: SubscriptionId) -> bool:
+        return sid in self._subscriptions
+
+    def items(self) -> Iterator[Tuple[SubscriptionId, Subscription]]:
+        return iter(self._subscriptions.items())
+
+    def ids(self) -> Set[SubscriptionId]:
+        return set(self._subscriptions)
+
+    # -- summary interop --------------------------------------------------------
+
+    def build_summary(self, precision: Precision = Precision.COARSE) -> BrokerSummary:
+        """A fresh summary of everything currently stored."""
+        summary = BrokerSummary(self.schema, precision)
+        for sid, subscription in self._subscriptions.items():
+            summary.add(subscription, sid)
+        return summary
+
+    def recheck(self, event: Event, candidates: Iterable[SubscriptionId]) -> Set[SubscriptionId]:
+        """Exact re-check of summary-matched ids against raw subscriptions.
+
+        Filters the false positives a COARSE summary may produce, and also
+        drops ids whose subscription has since been removed.  Only ids owned
+        by this broker can be checked; foreign ids are rejected loudly —
+        receiving one indicates a routing bug.
+        """
+        confirmed: Set[SubscriptionId] = set()
+        for sid in candidates:
+            if sid.broker != self.broker_id:
+                raise ValueError(
+                    f"re-check asked for {sid}, owned by broker {sid.broker}, "
+                    f"at broker {self.broker_id}"
+                )
+            subscription = self._subscriptions.get(sid)
+            if subscription is not None and subscription.matches(event):
+                confirmed.add(sid)
+        return confirmed
+
+
+class MaintainedSummary:
+    """A broker summary kept in sync with a store, with periodic rebuilds.
+
+    ``rebuild_threshold`` is the fraction of removals (since the last
+    rebuild) over the current live count that triggers re-summarization.
+    """
+
+    def __init__(
+        self,
+        store: SubscriptionStore,
+        precision: Precision = Precision.COARSE,
+        rebuild_threshold: float = 0.5,
+    ):
+        if not 0.0 < rebuild_threshold:
+            raise ValueError("rebuild threshold must be positive")
+        self.store = store
+        self.precision = precision
+        self.rebuild_threshold = rebuild_threshold
+        self.summary = store.build_summary(precision)
+        self.rebuild_count = 0
+        self._removals_since_rebuild = 0
+
+    def subscribe(self, subscription: Subscription) -> SubscriptionId:
+        sid = self.store.subscribe(subscription)
+        self.summary.add(subscription, sid)
+        return sid
+
+    def unsubscribe(self, sid: SubscriptionId) -> bool:
+        removed = self.store.unsubscribe(sid)
+        if removed is None:
+            return False
+        self.summary.remove(sid)
+        self._removals_since_rebuild += 1
+        if self._should_rebuild():
+            self.rebuild()
+        return True
+
+    def _should_rebuild(self) -> bool:
+        live = max(1, len(self.store))
+        return (self._removals_since_rebuild / live) >= self.rebuild_threshold
+
+    def rebuild(self) -> None:
+        """Re-summarize from raw subscriptions, restoring full compaction."""
+        self.summary = self.store.build_summary(self.precision)
+        self.rebuild_count += 1
+        self._removals_since_rebuild = 0
+
+    def match(self, event: Event) -> Set[SubscriptionId]:
+        return self.summary.match(event)
+
+    def match_confirmed(self, event: Event) -> Set[SubscriptionId]:
+        """Summary match followed by the exact re-check."""
+        return self.store.recheck(event, self.summary.match(event))

@@ -1,0 +1,401 @@
+"""String pattern algebra for SACS (paper section 3.1).
+
+A SACS row is a *general constraint that may cover (i.e., subsume) one or
+more of the existing constraints* — e.g. ``m*t`` covers ``microsoft`` and
+``micronet``.  This module gives patterns a uniform representation and the
+two decision procedures SACS needs:
+
+* ``matches(value)`` — does an event value satisfy the pattern, and
+* ``covers(other)`` — is every value matching ``other`` guaranteed to match
+  ``self`` (language inclusion).
+
+All of the paper's string operators map onto :class:`GlobPattern`, a
+sequence of literal pieces separated by ``*`` wildcards::
+
+    =  "OTE"     -> pieces ("OTE",)          (no star: a literal)
+    >* "OT"      -> pieces ("OT", "")        ("OT*")
+    *< "SE"      -> pieces ("", "SE")        ("*SE")
+    *  "net"     -> pieces ("", "net", "")   ("*net*")
+    ~  "N*SE"    -> pieces ("N", "SE")
+
+plus :class:`NotEqualsPattern` for ``!=`` and :class:`ConjunctionPattern`
+(EXACT precision only) for subscriptions with several constraints on the
+same string attribute.
+
+Coverage between glob patterns is decided with the classical criterion for
+``*``-pattern inclusion: the head of the coverer must prefix the coveree's
+head, its tail must suffix the coveree's tail, and its middle pieces must
+embed in order into the coveree's guaranteed literal chunks (greedy earliest
+match).  ``covers`` is *sound* (never claims inclusion that does not hold),
+which is the property SACS correctness rests on; soundness is
+property-tested in ``tests/summary/test_patterns_properties.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from repro.model.constraints import Constraint, Operator
+
+__all__ = [
+    "StringPattern",
+    "GlobPattern",
+    "NotEqualsPattern",
+    "ConjunctionPattern",
+    "pattern_for_constraint",
+    "pattern_hull",
+    "patterns_disjoint",
+]
+
+
+class StringPattern(ABC):
+    """Common interface for SACS row patterns."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def matches(self, value: str) -> bool:
+        """Whether an event attribute value satisfies this pattern."""
+
+    @abstractmethod
+    def covers(self, other: "StringPattern") -> bool:
+        """Sound language inclusion: True implies every value matching
+        ``other`` also matches ``self``."""
+
+    @abstractmethod
+    def key(self) -> Tuple:
+        """A hashable canonical form (used for equality and dedup)."""
+
+    @abstractmethod
+    def wire_text(self) -> str:
+        """The textual form whose length is charged by the wire codec."""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StringPattern):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class GlobPattern(StringPattern):
+    """Literal pieces separated by ``*`` wildcards, anchored at both ends.
+
+    ``pieces`` always has the canonical form: one piece means a literal
+    (no wildcard at all); otherwise the first piece is the required prefix,
+    the last the required suffix, and interior pieces are all non-empty.
+    """
+
+    __slots__ = ("pieces",)
+
+    def __init__(self, pieces: Sequence[str]):
+        if not pieces:
+            raise ValueError("a glob pattern needs at least one piece")
+        canonical: List[str]
+        if len(pieces) == 1:
+            canonical = [pieces[0]]
+        else:
+            head, *middle, tail = pieces
+            canonical = [head] + [piece for piece in middle if piece] + [tail]
+        self.pieces: Tuple[str, ...] = tuple(canonical)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def literal(cls, value: str) -> "GlobPattern":
+        return cls((value,))
+
+    @classmethod
+    def prefix(cls, head: str) -> "GlobPattern":
+        return cls((head, ""))
+
+    @classmethod
+    def suffix(cls, tail: str) -> "GlobPattern":
+        return cls(("", tail))
+
+    @classmethod
+    def contains(cls, body: str) -> "GlobPattern":
+        if not body:
+            return cls.universal()
+        return cls(("", body, ""))
+
+    @classmethod
+    def from_glob_text(cls, text: str) -> "GlobPattern":
+        """Parse a ``~`` operand: ``'*'`` is a wildcard, all else literal."""
+        return cls(tuple(text.split("*")))
+
+    @classmethod
+    def universal(cls) -> "GlobPattern":
+        return cls(("", ""))
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def is_literal(self) -> bool:
+        return len(self.pieces) == 1
+
+    @property
+    def is_universal(self) -> bool:
+        return len(self.pieces) == 2 and self.pieces[0] == "" and self.pieces[1] == ""
+
+    @property
+    def head(self) -> str:
+        return self.pieces[0]
+
+    @property
+    def tail(self) -> str:
+        return self.pieces[-1]
+
+    @property
+    def middle(self) -> Tuple[str, ...]:
+        return self.pieces[1:-1]
+
+    # -- matching --------------------------------------------------------------
+
+    def matches(self, value: str) -> bool:
+        if self.is_literal:
+            return value == self.pieces[0]
+        head, tail = self.head, self.tail
+        if not value.startswith(head) or not value.endswith(tail):
+            return False
+        pos = len(head)
+        end = len(value) - len(tail)
+        if pos > end:
+            # Head and tail would have to overlap inside the value.
+            return False
+        for piece in self.middle:
+            found = value.find(piece, pos, end)
+            if found < 0:
+                return False
+            pos = found + len(piece)
+        return True
+
+    # -- coverage ----------------------------------------------------------------
+
+    def covers(self, other: StringPattern) -> bool:
+        if isinstance(other, ConjunctionPattern):
+            return other.covered_by(self)
+        if isinstance(other, NotEqualsPattern):
+            # Sigma* \ {v} fits inside a glob language only if the glob is
+            # universal (globs cannot exclude exactly one string).
+            return self.is_universal
+        assert isinstance(other, GlobPattern)
+        if other.is_literal:
+            return self.matches(other.pieces[0])
+        if self.is_literal:
+            return False  # a literal cannot cover an infinite language
+        if not other.head.startswith(self.head):
+            return False
+        if not other.tail.endswith(self.tail):
+            return False
+        if not self.middle:
+            return True
+        # The coveree only *guarantees* its literal chunks, in order:
+        # what is left of its head after our prefix, its middle pieces,
+        # and what is left of its tail before our suffix.  Our middle
+        # pieces must embed greedily, each within a single chunk.
+        chunks = (
+            [other.head[len(self.head):]]
+            + list(other.middle)
+            + [other.tail[: len(other.tail) - len(self.tail)] if self.tail else other.tail]
+        )
+        return _embeds(self.middle, chunks)
+
+    # -- canonical form ------------------------------------------------------------
+
+    def key(self) -> Tuple:
+        return ("glob", self.pieces)
+
+    def wire_text(self) -> str:
+        if self.is_literal:
+            return self.pieces[0]
+        return "*".join(self.pieces)
+
+    def __repr__(self) -> str:
+        return f"GlobPattern({self.wire_text()!r})"
+
+
+def _embeds(needles: Sequence[str], chunks: Sequence[str]) -> bool:
+    """Greedy in-order embedding of needles into chunks (each needle inside
+    a single chunk, occurrences non-overlapping and ordered)."""
+    chunk_idx = 0
+    offset = 0
+    for needle in needles:
+        while chunk_idx < len(chunks):
+            found = chunks[chunk_idx].find(needle, offset)
+            if found >= 0:
+                offset = found + len(needle)
+                break
+            chunk_idx += 1
+            offset = 0
+        else:
+            return False
+    return True
+
+
+class NotEqualsPattern(StringPattern):
+    """The ``!=`` constraint: everything except one string."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def matches(self, value: str) -> bool:
+        return value != self.value
+
+    def covers(self, other: StringPattern) -> bool:
+        # L(other) must avoid self.value entirely.
+        if isinstance(other, NotEqualsPattern):
+            return other.value == self.value
+        if isinstance(other, ConjunctionPattern):
+            return other.covered_by(self)
+        assert isinstance(other, GlobPattern)
+        return not other.matches(self.value)
+
+    def key(self) -> Tuple:
+        return ("ne", self.value)
+
+    def wire_text(self) -> str:
+        return f"!={self.value}"
+
+    def __repr__(self) -> str:
+        return f"NotEqualsPattern({self.value!r})"
+
+
+class ConjunctionPattern(StringPattern):
+    """Several patterns that must all match (EXACT precision only).
+
+    Used when one subscription places two or more constraints on the same
+    string attribute (e.g. ``symbol >* OT AND symbol *< E``); keeping the
+    conjunction in a single row avoids the per-constraint over-matching of
+    COARSE mode.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[StringPattern]):
+        flat: List[StringPattern] = []
+        for part in parts:
+            if isinstance(part, ConjunctionPattern):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if len(flat) < 2:
+            raise ValueError("a conjunction needs at least two parts")
+        self.parts: Tuple[StringPattern, ...] = tuple(
+            sorted(flat, key=lambda p: p.key())
+        )
+
+    def matches(self, value: str) -> bool:
+        return all(part.matches(value) for part in self.parts)
+
+    def covers(self, other: StringPattern) -> bool:
+        # Sound: the conjunction covers `other` iff every member does
+        # (L(other) must fit inside the intersection).
+        return all(part.covers(other) for part in self.parts)
+
+    def covered_by(self, coverer: StringPattern) -> bool:
+        # Sound: the conjunction is inside any single member's language, so
+        # covering one member is enough.
+        return any(coverer.covers(part) for part in self.parts)
+
+    def key(self) -> Tuple:
+        return ("and", tuple(part.key() for part in self.parts))
+
+    def wire_text(self) -> str:
+        return "&".join(part.wire_text() for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"ConjunctionPattern({', '.join(repr(p) for p in self.parts)})"
+
+
+def pattern_for_constraint(constraint: Constraint) -> StringPattern:
+    """Translate one string constraint into its SACS pattern."""
+    op = constraint.operator
+    operand = constraint.value
+    assert isinstance(operand, str)
+    if op is Operator.EQ:
+        return GlobPattern.literal(operand)
+    if op is Operator.NE:
+        return NotEqualsPattern(operand)
+    if op is Operator.PREFIX:
+        return GlobPattern.prefix(operand)
+    if op is Operator.SUFFIX:
+        return GlobPattern.suffix(operand)
+    if op is Operator.CONTAINS:
+        return GlobPattern.contains(operand)
+    if op is Operator.MATCHES:
+        return GlobPattern.from_glob_text(operand)
+    raise ValueError(f"not a string operator: {op!r}")
+
+
+def patterns_disjoint(first: StringPattern, second: StringPattern) -> bool:
+    """Sound emptiness test for pattern intersection.
+
+    Returns True only when NO string can match both patterns — the
+    advertisement machinery uses it to prove a subscription can never fire
+    for an advertised event space.  A False merely means "possibly
+    intersecting" (the conservative direction: we may propagate a useless
+    subscription, never drop a useful one).
+    """
+    for pattern in (first, second):
+        if isinstance(pattern, ConjunctionPattern):
+            other = second if pattern is first else first
+            # Sound: if any member is disjoint from the other side, the
+            # conjunction (a subset of that member) is too.
+            return any(patterns_disjoint(part, other) for part in pattern.parts)
+    if isinstance(first, NotEqualsPattern) and isinstance(second, NotEqualsPattern):
+        return False  # both exclude one string each; plenty remains
+    if isinstance(first, NotEqualsPattern) or isinstance(second, NotEqualsPattern):
+        ne, glob = (
+            (first, second) if isinstance(first, NotEqualsPattern) else (second, first)
+        )
+        assert isinstance(glob, GlobPattern)
+        if glob.is_literal:
+            return glob.pieces[0] == ne.value
+        return False  # an infinite glob language always avoids one string
+    assert isinstance(first, GlobPattern) and isinstance(second, GlobPattern)
+    if first.is_literal:
+        return not second.matches(first.pieces[0])
+    if second.is_literal:
+        return not first.matches(second.pieces[0])
+    # Both infinite: anchored heads/tails must be mutually compatible.
+    head_ok = first.head.startswith(second.head) or second.head.startswith(first.head)
+    tail_ok = first.tail.endswith(second.tail) or second.tail.endswith(first.tail)
+    return not (head_ok and tail_ok)
+
+
+def pattern_hull(first: StringPattern, second: StringPattern) -> StringPattern:
+    """A pattern covering both inputs (used by the hybrid extension's
+    aggressive compaction).  Falls back to the universal pattern."""
+    if first.covers(second):
+        return first
+    if second.covers(first):
+        return second
+    if isinstance(first, GlobPattern) and isinstance(second, GlobPattern):
+        head = _common_prefix(first.head, second.head)
+        tail = _common_suffix(first.tail if not first.is_literal else first.head,
+                              second.tail if not second.is_literal else second.head)
+        candidate = GlobPattern((head, tail))
+        if candidate.covers(first) and candidate.covers(second):
+            return candidate
+    return GlobPattern.universal()
+
+
+def _common_prefix(a: str, b: str) -> str:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return a[:i]
+
+
+def _common_suffix(a: str, b: str) -> str:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[len(a) - 1 - i] == b[len(b) - 1 - i]:
+        i += 1
+    return a[len(a) - i:] if i else ""

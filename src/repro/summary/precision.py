@@ -1,0 +1,28 @@
+"""Summary precision modes (DESIGN.md section 5.1).
+
+The paper's summaries deliberately generalize: overlapping arithmetic
+sub-ranges merge into wider rows and string constraints collapse into
+covering patterns.  A generalized row may therefore report a subscription id
+for a value its original constraint excluded (a *false positive*), which is
+safe because the owning broker re-checks exactly before client delivery.
+
+``COARSE`` is that paper behavior.  ``EXACT`` maintains enough structure
+(interval partitions, conjunction patterns, one row per distinct pattern)
+that the summary match equals ground truth; it costs more space and exists
+to cross-validate COARSE and to quantify the compaction trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Precision"]
+
+
+class Precision(enum.Enum):
+    COARSE = "coarse"  # paper semantics: generalize, allow false positives
+    EXACT = "exact"  # no false positives, larger structures
+
+    @property
+    def allows_false_positives(self) -> bool:
+        return self is Precision.COARSE

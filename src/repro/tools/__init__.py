@@ -1,0 +1,5 @@
+"""Operational tooling: workload trace record/replay."""
+
+from repro.tools.trace import OpKind, Trace, TraceOp, TraceRecorder, replay
+
+__all__ = ["OpKind", "Trace", "TraceOp", "TraceRecorder", "replay"]

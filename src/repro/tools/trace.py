@@ -1,0 +1,243 @@
+"""Workload traces: record once, replay anywhere.
+
+A trace is an ordered script of the four client-visible operations —
+subscribe, unsubscribe, propagate, publish — in a binary format built on
+the wire codec.  Uses:
+
+* **reproducible comparisons**: replay the identical operation sequence
+  against the summary system, the Siena comparator and the baseline (or
+  against two configurations of the same system) and diff the metrics;
+* **regression corpora**: traces checked into a repository pin down
+  behavior across versions;
+* **capture**: :class:`TraceRecorder` wraps a live system and writes down
+  everything done to it.
+
+The file layout is ``magic + schema signature + ops``; replaying against a
+system with a different schema fails loudly instead of mis-decoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, WireCodec
+
+__all__ = ["TraceOp", "OpKind", "Trace", "TraceRecorder", "replay"]
+
+TRACE_MAGIC = b"RTRC1"
+
+PathLike = Union[str, Path]
+
+
+class OpKind(enum.IntEnum):
+    SUBSCRIBE = 0
+    UNSUBSCRIBE = 1
+    PROPAGATE = 2
+    PUBLISH = 3
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation.
+
+    ``sid`` on a SUBSCRIBE is the id the original run minted — replays
+    assert they mint the same one, which catches id-allocation divergence.
+    """
+
+    kind: OpKind
+    broker: int = 0
+    subscription: Optional[Subscription] = None
+    sid: Optional[SubscriptionId] = None
+    event: Optional[Event] = None
+
+
+def _schema_signature(schema: Schema) -> str:
+    return ";".join(f"{spec.name}:{spec.type.value}" for spec in schema)
+
+
+class Trace:
+    """An in-memory operation script bound to a schema."""
+
+    def __init__(self, schema: Schema, ops: Optional[List[TraceOp]] = None):
+        self.schema = schema
+        self.ops: List[TraceOp] = list(ops) if ops else []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    # -- building -------------------------------------------------------------
+
+    def subscribe(
+        self, broker: int, subscription: Subscription, sid: Optional[SubscriptionId] = None
+    ) -> None:
+        self.ops.append(
+            TraceOp(OpKind.SUBSCRIBE, broker=broker, subscription=subscription, sid=sid)
+        )
+
+    def unsubscribe(self, broker: int, sid: SubscriptionId) -> None:
+        self.ops.append(TraceOp(OpKind.UNSUBSCRIBE, broker=broker, sid=sid))
+
+    def propagate(self) -> None:
+        self.ops.append(TraceOp(OpKind.PROPAGATE))
+
+    def publish(self, broker: int, event: Event) -> None:
+        self.ops.append(TraceOp(OpKind.PUBLISH, broker=broker, event=event))
+
+    # -- serialization -----------------------------------------------------------
+
+    def save(self, path: PathLike, wire: Optional[WireCodec] = None) -> Path:
+        wire = wire if wire is not None else _default_wire(self.schema)
+        writer = ByteWriter()
+        writer.raw(TRACE_MAGIC)
+        writer.string(_schema_signature(self.schema))
+        writer.varint(len(self.ops))
+        for op in self.ops:
+            writer.byte(int(op.kind))
+            writer.varint(op.broker)
+            if op.kind is OpKind.SUBSCRIBE:
+                assert op.subscription is not None
+                wire.write_subscription(writer, op.subscription)
+                writer.byte(1 if op.sid is not None else 0)
+                if op.sid is not None:
+                    writer.raw(wire.id_codec.to_bytes(op.sid))
+            elif op.kind is OpKind.UNSUBSCRIBE:
+                assert op.sid is not None
+                writer.raw(wire.id_codec.to_bytes(op.sid))
+            elif op.kind is OpKind.PUBLISH:
+                assert op.event is not None
+                payload = wire.encode_event(op.event)
+                writer.varint(len(payload))
+                writer.raw(payload)
+        target = Path(path)
+        target.write_bytes(writer.getvalue())
+        return target
+
+    @classmethod
+    def load(
+        cls, path: PathLike, schema: Schema, wire: Optional[WireCodec] = None
+    ) -> "Trace":
+        wire = wire if wire is not None else _default_wire(schema)
+        reader = ByteReader(Path(path).read_bytes())
+        if reader.raw(len(TRACE_MAGIC)) != TRACE_MAGIC:
+            raise CodecError("not a trace file (bad magic)")
+        signature = reader.string()
+        if signature != _schema_signature(schema):
+            raise CodecError(
+                f"trace was recorded for schema [{signature}], got "
+                f"[{_schema_signature(schema)}]"
+            )
+        trace = cls(schema)
+        for _ in range(reader.varint()):
+            kind = OpKind(reader.byte())
+            broker = reader.varint()
+            if kind is OpKind.SUBSCRIBE:
+                subscription = wire.read_subscription(reader)
+                sid = None
+                if reader.byte():
+                    sid = wire.id_codec.from_bytes(reader.raw(wire.id_codec.byte_size))
+                trace.ops.append(
+                    TraceOp(kind, broker=broker, subscription=subscription, sid=sid)
+                )
+            elif kind is OpKind.UNSUBSCRIBE:
+                sid = wire.id_codec.from_bytes(reader.raw(wire.id_codec.byte_size))
+                trace.ops.append(TraceOp(kind, broker=broker, sid=sid))
+            elif kind is OpKind.PUBLISH:
+                event = wire.decode_event(reader.raw(reader.varint()))
+                trace.ops.append(TraceOp(kind, broker=broker, event=event))
+            else:
+                trace.ops.append(TraceOp(kind))
+        if not reader.at_end():
+            raise CodecError(f"{reader.remaining} trailing bytes after trace")
+        return trace
+
+
+def _default_wire(schema: Schema) -> WireCodec:
+    from repro.model.ids import IdCodec
+
+    # Generous bounds: traces carry ids from arbitrary deployments.
+    return WireCodec(schema, IdCodec(1 << 10, 1 << 20, len(schema)), ValueWidth.F64)
+
+
+@dataclass
+class ReplayResult:
+    """What a replay did and what it cost."""
+
+    deliveries: int = 0
+    publishes: int = 0
+    propagation_periods: int = 0
+    event_hops: int = 0
+    delivered_pairs: List[Tuple[int, SubscriptionId]] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.delivered_pairs is None:
+            self.delivered_pairs = []
+
+
+def replay(trace: Trace, system) -> ReplayResult:
+    """Apply a trace to any system exposing the four-call facade.
+
+    SUBSCRIBE ops with a recorded sid assert the replayed mint matches —
+    divergence means the target system allocates ids differently than the
+    recording run, which would invalidate cross-system comparisons.
+    """
+    result = ReplayResult()
+    for op in trace.ops:
+        if op.kind is OpKind.SUBSCRIBE:
+            minted = system.subscribe(op.broker, op.subscription)
+            if op.sid is not None and minted != op.sid:
+                raise ValueError(
+                    f"replay minted {minted}, recording had {op.sid}"
+                )
+        elif op.kind is OpKind.UNSUBSCRIBE:
+            system.unsubscribe(op.broker, op.sid)
+        elif op.kind is OpKind.PROPAGATE:
+            system.run_propagation_period()
+            result.propagation_periods += 1
+        else:
+            outcome = system.publish(op.broker, op.event)
+            result.publishes += 1
+            result.deliveries += len(outcome.deliveries)
+            result.event_hops += outcome.hops
+            result.delivered_pairs.extend(
+                (delivery.broker, delivery.sid) for delivery in outcome.deliveries
+            )
+    return result
+
+
+class TraceRecorder:
+    """Wrap a live system; every call is applied AND recorded."""
+
+    def __init__(self, system):
+        self.system = system
+        self.trace = Trace(system.schema)
+
+    def subscribe(self, broker: int, subscription: Subscription) -> SubscriptionId:
+        sid = self.system.subscribe(broker, subscription)
+        self.trace.subscribe(broker, subscription, sid)
+        return sid
+
+    def unsubscribe(self, broker: int, sid: SubscriptionId) -> bool:
+        removed = self.system.unsubscribe(broker, sid)
+        if removed:
+            self.trace.unsubscribe(broker, sid)
+        return removed
+
+    def run_propagation_period(self) -> Dict[str, int]:
+        snapshot = self.system.run_propagation_period()
+        self.trace.propagate()
+        return snapshot
+
+    def publish(self, broker: int, event: Event):
+        outcome = self.system.publish(broker, event)
+        self.trace.publish(broker, event)
+        return outcome

@@ -1,0 +1,29 @@
+"""Binary wire formats — bandwidth is measured on real encoded bytes."""
+
+from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, WireCodec
+from repro.wire.messages import (
+    AdvertisementMessage,
+    EventMessage,
+    Message,
+    MessageCodec,
+    MessageKind,
+    NotifyMessage,
+    SubscriptionBatchMessage,
+    SummaryMessage,
+)
+
+__all__ = [
+    "AdvertisementMessage",
+    "ByteReader",
+    "ByteWriter",
+    "CodecError",
+    "EventMessage",
+    "Message",
+    "MessageCodec",
+    "MessageKind",
+    "NotifyMessage",
+    "SubscriptionBatchMessage",
+    "SummaryMessage",
+    "ValueWidth",
+    "WireCodec",
+]

@@ -1,0 +1,211 @@
+"""Typed broker-to-broker messages and their wire encoding.
+
+Everything a broker sends to another broker in any of the three systems
+(summary-based, Siena-style, broadcast baseline) is one of these messages.
+The simulator charges ``MessageCodec.size(message)`` bytes per link
+traversal, so bandwidth figures come from real encodings:
+
+* :class:`SummaryMessage` — a (multi-broker) subscription summary plus its
+  ``Merged_Brokers`` set (Algorithm 2 payload).
+* :class:`SubscriptionBatchMessage` — raw subscriptions with their ids
+  (what Siena and the broadcast baseline propagate).
+* :class:`EventMessage` — an event plus its ``BROCLI`` broker-check-list
+  (Algorithm 3 payload; Siena/baseline send an empty BROCLI).
+* :class:`NotifyMessage` — an event delivered to the owning broker along
+  with the subscription ids it matched (Algorithm 1, step 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.subscriptions import Subscription
+from repro.summary.summary import BrokerSummary
+from repro.wire.codec import ByteReader, ByteWriter, CodecError, WireCodec, _decode_guard
+
+__all__ = [
+    "AdvertisementMessage",
+    "MessageKind",
+    "SummaryMessage",
+    "SubscriptionBatchMessage",
+    "EventMessage",
+    "NotifyMessage",
+    "Message",
+    "MessageCodec",
+]
+
+
+class MessageKind(enum.IntEnum):
+    SUMMARY = 0
+    SUBSCRIPTION_BATCH = 1
+    EVENT = 2
+    NOTIFY = 3
+    ADVERTISEMENT = 4
+
+
+@dataclass(frozen=True)
+class SummaryMessage:
+    """Algorithm 2: merged summary + the Merged_Brokers set."""
+
+    summary: BrokerSummary
+    merged_brokers: FrozenSet[int]
+
+    kind = MessageKind.SUMMARY
+
+
+@dataclass(frozen=True)
+class SubscriptionBatchMessage:
+    """Raw subscription propagation (Siena and the broadcast baseline)."""
+
+    entries: Tuple[Tuple[SubscriptionId, Subscription], ...]
+
+    kind = MessageKind.SUBSCRIPTION_BATCH
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class EventMessage:
+    """An event in flight, carrying its BROCLI broker-check-list.
+
+    ``publish_id`` uniquely identifies the originating publish call, so
+    brokers can de-duplicate redeliveries on at-least-once transports.
+    """
+
+    event: Event
+    brocli: FrozenSet[int]
+    publish_id: int = 0
+
+    kind = MessageKind.EVENT
+
+
+@dataclass(frozen=True)
+class NotifyMessage:
+    """Event + matched ids, forwarded to the broker owning the matches."""
+
+    event: Event
+    matched: FrozenSet[SubscriptionId]
+    publish_id: int = 0
+
+    kind = MessageKind.NOTIFY
+
+
+@dataclass(frozen=True)
+class AdvertisementMessage:
+    """Producer advertisements (section-6 advertisement extension).
+
+    An advertisement is structurally a subscription — a conjunction of
+    constraints describing the event space a producer will publish — so the
+    payload reuses the (id, subscription) batch layout under its own kind.
+    """
+
+    entries: Tuple[Tuple[SubscriptionId, Subscription], ...]
+
+    kind = MessageKind.ADVERTISEMENT
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+Message = Union[
+    SummaryMessage,
+    SubscriptionBatchMessage,
+    EventMessage,
+    NotifyMessage,
+    AdvertisementMessage,
+]
+
+
+class MessageCodec:
+    """Encodes/decodes the message union with a one-byte kind tag."""
+
+    def __init__(self, wire: WireCodec):
+        self.wire = wire
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode(self, message: Message) -> bytes:
+        writer = ByteWriter()
+        writer.byte(int(message.kind))
+        if isinstance(message, SummaryMessage):
+            self.wire.write_broker_set(writer, set(message.merged_brokers))
+            payload = self.wire.encode_summary(message.summary)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        elif isinstance(message, (SubscriptionBatchMessage, AdvertisementMessage)):
+            writer.varint(len(message.entries))
+            for sid, subscription in message.entries:
+                writer.raw(self.wire.id_codec.to_bytes(sid))
+                self.wire.write_subscription(writer, subscription)
+        elif isinstance(message, EventMessage):
+            writer.varint(message.publish_id)
+            self.wire.write_broker_set(writer, set(message.brocli))
+            payload = self.wire.encode_event(message.event)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        elif isinstance(message, NotifyMessage):
+            writer.varint(message.publish_id)
+            self.wire.write_id_list(writer, set(message.matched))
+            payload = self.wire.encode_event(message.event)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        else:  # pragma: no cover - closed union
+            raise CodecError(f"unknown message type {type(message).__name__}")
+        return writer.getvalue()
+
+    @_decode_guard
+    def decode(self, data: bytes) -> Message:
+        reader = ByteReader(data)
+        tag = reader.byte()
+        try:
+            kind = MessageKind(tag)
+        except ValueError:
+            raise CodecError(f"unknown message kind {tag}") from None
+        if kind is MessageKind.SUMMARY:
+            brokers = frozenset(self.wire.read_broker_set(reader))
+            payload = reader.raw(reader.varint())
+            message: Message = SummaryMessage(
+                summary=self.wire.decode_summary(payload), merged_brokers=brokers
+            )
+        elif kind in (MessageKind.SUBSCRIPTION_BATCH, MessageKind.ADVERTISEMENT):
+            count = reader.varint()
+            entries = []
+            for _ in range(count):
+                sid = self.wire.id_codec.from_bytes(
+                    reader.raw(self.wire.id_codec.byte_size)
+                )
+                entries.append((sid, self.wire.read_subscription(reader)))
+            if kind is MessageKind.SUBSCRIPTION_BATCH:
+                message = SubscriptionBatchMessage(entries=tuple(entries))
+            else:
+                message = AdvertisementMessage(entries=tuple(entries))
+        elif kind is MessageKind.EVENT:
+            publish_id = reader.varint()
+            brocli = frozenset(self.wire.read_broker_set(reader))
+            payload = reader.raw(reader.varint())
+            message = EventMessage(
+                event=self.wire.decode_event(payload),
+                brocli=brocli,
+                publish_id=publish_id,
+            )
+        else:
+            publish_id = reader.varint()
+            matched = frozenset(self.wire.read_id_list(reader))
+            payload = reader.raw(reader.varint())
+            message = NotifyMessage(
+                event=self.wire.decode_event(payload),
+                matched=matched,
+                publish_id=publish_id,
+            )
+        if not reader.at_end():
+            raise CodecError(f"{reader.remaining} trailing bytes after message")
+        return message
+
+    def size(self, message: Message) -> int:
+        """Encoded length in bytes — what the simulator charges per hop."""
+        return len(self.encode(message))

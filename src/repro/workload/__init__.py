@@ -1,0 +1,44 @@
+"""Workload generation: Table-2 synthetic model, figure-10 popularity
+probes, and a realistic stock-ticker feed."""
+
+from repro.workload.config import (
+    TABLE2_POPULARITIES,
+    TABLE2_SIGMAS,
+    TABLE2_SUBSUMPTIONS,
+    WorkloadConfig,
+)
+from repro.workload.distributions import (
+    random_identifier,
+    sample_distinct,
+    weighted_choice,
+    zipf_rank,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.popularity import (
+    PROBE_ATTRIBUTE,
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+from repro.workload.stocks import DEFAULT_EXCHANGES, DEFAULT_SYMBOLS, StockWorkload
+
+__all__ = [
+    "DEFAULT_EXCHANGES",
+    "DEFAULT_SYMBOLS",
+    "PROBE_ATTRIBUTE",
+    "TABLE2_POPULARITIES",
+    "TABLE2_SIGMAS",
+    "TABLE2_SUBSUMPTIONS",
+    "StockWorkload",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "draw_matched_sets",
+    "popularity_event",
+    "popularity_schema",
+    "probe_subscription",
+    "random_identifier",
+    "sample_distinct",
+    "weighted_choice",
+    "zipf_rank",
+]

@@ -1,0 +1,96 @@
+"""Workload parameters (paper tables 1 and 2).
+
+Table 1 defines the symbols; table 2 fixes the values used in the
+evaluation:
+
+====== ===========================================================
+symbol  meaning / table-2 value
+====== ===========================================================
+nt      total attribute names in the schema — 10
+S       outstanding subscriptions per broker — 1000
+sigma   new per-broker subscriptions per period — 10 .. 1000
+nsr     sub-range rows per arithmetic attribute — 2
+sst     storage size of an arithmetic value — 4 bytes
+sid     storage size of a subscription id — 4 bytes
+ssv     average string value size — 10 bytes
+q       subscription subsumption probability — 0.1 .. 0.9
+====== ===========================================================
+
+Derived properties from the prose: the average subscription or event has
+``nt/2`` attributes, 40% arithmetic and 60% strings; the average
+subscription/event is about 50 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["WorkloadConfig", "TABLE2_SIGMAS", "TABLE2_SUBSUMPTIONS", "TABLE2_POPULARITIES"]
+
+#: sigma sweep of figures 8/11 ("10, ..., 1000").
+TABLE2_SIGMAS: Tuple[int, ...] = (10, 50, 100, 250, 500, 750, 1000)
+
+#: Subsumption probabilities of figures 8/9/11.
+TABLE2_SUBSUMPTIONS: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+#: Event popularities of figure 10 (percent of brokers matched).
+TABLE2_POPULARITIES: Tuple[float, ...] = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Table-2 defaults, overridable per experiment."""
+
+    nt: int = 10  # total attributes in the schema
+    outstanding: int = 1000  # S: subscriptions per broker
+    sigma: int = 100  # new subscriptions per broker per period
+    nsr: int = 2  # canonical sub-ranges per arithmetic attribute
+    sst: int = 4  # bytes per arithmetic value
+    sid: int = 4  # bytes per subscription id
+    ssv: int = 10  # average string value bytes
+    subsumption: float = 0.5  # q: probability a constraint is subsumable
+    arithmetic_fraction: float = 0.4  # 40% arithmetic, 60% strings
+    subscription_size: int = 50  # average encoded subscription/event bytes
+
+    def __post_init__(self) -> None:
+        if self.nt < 2:
+            raise ValueError("need at least two attributes")
+        if not 0.0 <= self.subsumption <= 1.0:
+            raise ValueError("subsumption must be in [0, 1]")
+        if not 0.0 < self.arithmetic_fraction < 1.0:
+            raise ValueError("arithmetic fraction must be in (0, 1)")
+        if min(self.outstanding, self.sigma, self.nsr, self.sst, self.sid, self.ssv) < 1:
+            raise ValueError("counts and sizes must be positive")
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def attributes_per_subscription(self) -> int:
+        """The 'average' subscription/event has nt/2 attributes."""
+        return max(1, self.nt // 2)
+
+    @property
+    def num_arithmetic_attributes(self) -> int:
+        """Arithmetic attributes in the schema (40% of nt)."""
+        return max(1, round(self.nt * self.arithmetic_fraction))
+
+    @property
+    def num_string_attributes(self) -> int:
+        return self.nt - self.num_arithmetic_attributes
+
+    @property
+    def nas(self) -> int:
+        """Arithmetic attributes per average subscription (40% of nt/2)."""
+        return max(1, round(self.attributes_per_subscription * self.arithmetic_fraction))
+
+    @property
+    def nss(self) -> int:
+        """String attributes per average subscription (the remainder)."""
+        return self.attributes_per_subscription - self.nas
+
+    def with_overrides(self, **changes) -> "WorkloadConfig":
+        """A copy with some fields replaced (frozen-dataclass convenience)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,54 @@
+"""Small sampling helpers used by the workload generators.
+
+Kept dependency-light (``random.Random`` only) so generators are fully
+deterministic under a seed and usable from property tests.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Sequence, TypeVar
+
+__all__ = ["zipf_rank", "random_identifier", "weighted_choice", "sample_distinct"]
+
+T = TypeVar("T")
+
+_IDENT_ALPHABET = string.ascii_uppercase + string.digits
+
+
+def zipf_rank(rng: random.Random, n: int, exponent: float = 1.0) -> int:
+    """Sample a rank in ``[0, n)`` with Zipf(exponent) popularity.
+
+    Used for skewed attribute/value popularity (real subscription workloads
+    concentrate on a few hot attributes).  Inverse-CDF over the finite
+    harmonic weights; O(n) setup is fine for the n <= a few hundred we use.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+    total = sum(weights)
+    point = rng.random() * total
+    acc = 0.0
+    for rank, weight in enumerate(weights):
+        acc += weight
+        if point <= acc:
+            return rank
+    return n - 1
+
+
+def random_identifier(rng: random.Random, length: int) -> str:
+    """A random fixed-length uppercase identifier (string values, ssv bytes)."""
+    return "".join(rng.choice(_IDENT_ALPHABET) for _ in range(length))
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Choose one item by weight (thin wrapper for readability)."""
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def sample_distinct(rng: random.Random, items: Sequence[T], count: int) -> List[T]:
+    """Sample ``count`` distinct items (all of them if fewer exist)."""
+    if count >= len(items):
+        return list(items)
+    return rng.sample(list(items), count)

@@ -1,0 +1,152 @@
+"""A realistic stock-ticker workload for examples and integration tests.
+
+The paper's running example (figures 2-6) is a stock market feed; this
+module generates plausible traffic over :func:`repro.model.stock_schema`:
+random-walk prices per symbol, exchange-filtered and band-filtered
+subscriptions, volume triggers — the kinds of interests the paper's
+subscription schema was designed to express.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.events import Event
+from repro.model.schema import Schema, stock_schema
+from repro.model.subscriptions import Subscription
+from repro.model.types import AttributeType
+
+__all__ = ["StockWorkload", "DEFAULT_SYMBOLS", "DEFAULT_EXCHANGES"]
+
+DEFAULT_SYMBOLS: Tuple[str, ...] = (
+    "OTE", "OTEGLOBE", "IBM", "MSFT", "INTC", "ORCL", "SUNW", "HPQ",
+    "NOK", "ERIC", "VOD", "T", "CW", "ATT", "DT", "FTE",
+)
+DEFAULT_EXCHANGES: Tuple[str, ...] = ("NYSE", "NASDAQ", "LSE", "ASE", "FWB")
+
+
+@dataclass
+class _SymbolState:
+    price: float
+    volatility: float
+
+
+class StockWorkload:
+    """Seeded generator of stock subscriptions and a ticking event feed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        symbols: Sequence[str] = DEFAULT_SYMBOLS,
+        exchanges: Sequence[str] = DEFAULT_EXCHANGES,
+    ):
+        self.schema: Schema = stock_schema()
+        self.symbols = tuple(symbols)
+        self.exchanges = tuple(exchanges)
+        self._rng = random.Random(seed)
+        self._clock = 1_057_061_125.0  # the paper's example timestamp
+        self._state: Dict[str, _SymbolState] = {
+            symbol: _SymbolState(
+                price=round(self._rng.uniform(5.0, 120.0), 2),
+                volatility=self._rng.uniform(0.005, 0.03),
+            )
+            for symbol in self.symbols
+        }
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscription(self) -> Subscription:
+        """One of four realistic interest templates, at random."""
+        pick = self._rng.randrange(4)
+        if pick == 0:
+            return self.price_band_subscription()
+        if pick == 1:
+            return self.volume_trigger_subscription()
+        if pick == 2:
+            return self.exchange_watch_subscription()
+        return self.symbol_family_subscription()
+
+    def price_band_subscription(self) -> Subscription:
+        """Figure-3 style: a symbol within a price band."""
+        symbol = self._rng.choice(self.symbols)
+        mid = self._state[symbol].price
+        band = mid * self._rng.uniform(0.02, 0.15)
+        return Subscription(
+            [
+                Constraint.string("symbol", Operator.EQ, symbol),
+                Constraint.arithmetic("price", Operator.GT, round(mid - band, 2)),
+                Constraint.arithmetic("price", Operator.LT, round(mid + band, 2)),
+            ]
+        )
+
+    def volume_trigger_subscription(self) -> Subscription:
+        """Unusual-volume alert for a symbol prefix family."""
+        prefix = self._rng.choice(self.symbols)[:2]
+        threshold = self._rng.randrange(50_000, 500_000, 10_000)
+        return Subscription(
+            [
+                Constraint.string("symbol", Operator.PREFIX, prefix),
+                Constraint(
+                    "volume", AttributeType.INTEGER, Operator.GT, threshold
+                ),
+            ]
+        )
+
+    def exchange_watch_subscription(self) -> Subscription:
+        """Everything cheap on one exchange."""
+        exchange = self._rng.choice(self.exchanges)
+        ceiling = round(self._rng.uniform(5.0, 50.0), 2)
+        return Subscription(
+            [
+                Constraint.string("exchange", Operator.EQ, exchange),
+                Constraint.arithmetic("price", Operator.LT, ceiling),
+            ]
+        )
+
+    def symbol_family_subscription(self) -> Subscription:
+        """A containment pattern over related tickers (paper's 'm*t')."""
+        symbol = self._rng.choice(self.symbols)
+        body = symbol[1:3] if len(symbol) >= 3 else symbol
+        floor = round(self._rng.uniform(1.0, 20.0), 2)
+        return Subscription(
+            [
+                Constraint.string("symbol", Operator.CONTAINS, body),
+                Constraint.arithmetic("low", Operator.GT, floor),
+            ]
+        )
+
+    def subscriptions(self, count: int) -> List[Subscription]:
+        return [self.subscription() for _ in range(count)]
+
+    # -- events ----------------------------------------------------------------------
+
+    def tick(self) -> Event:
+        """The next trade event: one symbol's price random-walks."""
+        rng = self._rng
+        symbol = rng.choice(self.symbols)
+        state = self._state[symbol]
+        state.price = max(0.01, state.price * (1.0 + rng.gauss(0.0, state.volatility)))
+        price = round(state.price, 2)
+        self._clock += rng.uniform(0.05, 2.0)
+        spread = price * rng.uniform(0.001, 0.05)
+        return Event.from_pairs(
+            [
+                ("exchange", AttributeType.STRING, rng.choice(self.exchanges)),
+                ("symbol", AttributeType.STRING, symbol),
+                ("when", AttributeType.DATE, self._clock),
+                ("price", AttributeType.FLOAT, price),
+                ("volume", AttributeType.INTEGER, rng.randrange(1_000, 1_000_000)),
+                ("high", AttributeType.FLOAT, round(price + spread, 2)),
+                ("low", AttributeType.FLOAT, round(max(0.01, price - spread), 2)),
+            ]
+        )
+
+    def ticks(self, count: int) -> List[Event]:
+        return [self.tick() for _ in range(count)]
+
+    def feed(self) -> Iterator[Event]:
+        while True:
+            yield self.tick()

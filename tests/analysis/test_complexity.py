@@ -1,0 +1,53 @@
+"""Empirical matching-cost scaling (section 5.2.4 support)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    ScalingPoint,
+    linear_fit_r2,
+    measure_matching_scaling,
+)
+from repro.workload import WorkloadConfig
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        points = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]
+        assert linear_fit_r2(points) == pytest.approx(1.0)
+
+    def test_flat_line(self):
+        assert linear_fit_r2([(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]) == 1.0
+
+    def test_noise_lowers_r2(self):
+        points = [(1.0, 1.0), (2.0, 9.0), (3.0, 2.0), (4.0, 8.0)]
+        assert linear_fit_r2(points) < 0.7
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit_r2([(1.0, 1.0)])
+
+
+class TestMeasurement:
+    def test_points_shape(self):
+        points = measure_matching_scaling(
+            sizes=(50, 100), events_per_size=5, config=WorkloadConfig(), seed=1
+        )
+        assert [p.subscriptions for p in points] == [50, 100]
+        for point in points:
+            assert point.summary_seconds > 0
+            assert point.naive_seconds > 0
+
+    def test_summary_matching_beats_naive_at_scale(self):
+        """The section-5.2.4 expectation: summary matching is faster than
+        subscription-centric matching once tables are non-trivial."""
+        points = measure_matching_scaling(
+            sizes=(600,), events_per_size=20,
+            config=WorkloadConfig(subsumption=0.5), seed=2,
+        )
+        assert points[0].speedup > 1.0
+
+    def test_speedup_property(self):
+        point = ScalingPoint(subscriptions=10, summary_seconds=1.0, naive_seconds=3.0)
+        assert point.speedup == 3.0
+        zero = ScalingPoint(subscriptions=10, summary_seconds=0.0, naive_seconds=3.0)
+        assert zero.speedup == 0.0

@@ -1,0 +1,111 @@
+"""Equations (1)/(2), the baseline formula, and prediction-vs-measurement."""
+
+import pytest
+
+from repro.analysis.cost_model import (
+    aacs_size,
+    baseline_bandwidth,
+    expected_structure_counts,
+    expected_summary_size,
+    matching_step1_cost,
+    matching_step2_cost,
+    matching_total_cost,
+    sacs_size,
+    summary_size_from_stats,
+)
+from repro.summary import Precision, SubscriptionStore
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestEquations:
+    def test_equation1_shape(self):
+        """(2*nsr + ne)*sst + La*sid, summed over nas attributes."""
+        assert aacs_size(nas=1, nsr=2, ne=3, la=5, sst=4, sid=4) == (
+            (2 * 2 + 3) * 4 + 5 * 4
+        )
+        assert aacs_size(nas=3, nsr=2, ne=3, la=5, sst=4, sid=4) == 3 * 48
+
+    def test_equation2_shape(self):
+        """nr*ssv + Ls*sid, summed over nss attributes."""
+        assert sacs_size(nss=1, nr=4, ls=6, ssv=10, sid=4) == 4 * 10 + 6 * 4
+        assert sacs_size(nss=2, nr=4, ls=6, ssv=10, sid=4) == 2 * 64
+
+    def test_summary_size_from_stats_matches_equations(self, paper_store):
+        summary = paper_store.build_summary(Precision.COARSE)
+        stats = summary.stats()
+        total = summary_size_from_stats(stats, sst=4, sid=4)
+        manual = (
+            (2 * stats.n_sr + stats.n_e) * 4
+            + stats.arithmetic_id_entries * 4
+            + stats.string_value_bytes
+            + stats.string_id_entries * 4
+        )
+        assert total == manual
+
+
+class TestBaselineFormula:
+    def test_paper_formula(self):
+        assert baseline_bandwidth(24, 2.5, 100, 50) == 23 * 2.5 * 24 * 100 * 50
+
+    def test_single_broker_is_free(self):
+        assert baseline_bandwidth(1, 0.0, 100, 50) == 0
+
+
+class TestExpectedCounts:
+    def test_high_subsumption_bounds_rows(self):
+        config = WorkloadConfig(subsumption=1.0)
+        counts = expected_structure_counts(config, num_subscriptions=1000)
+        assert counts.nsr == config.nsr  # capped at the canonical ranges
+        assert counts.ne == 0.0
+
+    def test_zero_subsumption_all_equalities(self):
+        config = WorkloadConfig(subsumption=0.0)
+        counts = expected_structure_counts(config, 100)
+        assert counts.ne == pytest.approx(counts.la)
+        assert counts.nsr == 0.0
+
+    def test_id_entries_independent_of_subsumption(self):
+        low = expected_structure_counts(WorkloadConfig(subsumption=0.1), 100)
+        high = expected_structure_counts(WorkloadConfig(subsumption=0.9), 100)
+        assert low.la == high.la
+        assert low.ls == high.ls
+
+    def test_prediction_tracks_measurement(self):
+        """The analytic TB and the measured eq-(1)+(2) size of a real
+        summary agree within 2x across subsumption levels (the model is a
+        mean-field estimate, not an exact count)."""
+        for subsumption in (0.1, 0.5, 0.9):
+            config = WorkloadConfig(subsumption=subsumption)
+            generator = WorkloadGenerator(config, seed=17)
+            store = SubscriptionStore(generator.schema, 0)
+            count = 300
+            for subscription in generator.subscriptions(count):
+                store.subscribe(subscription)
+            measured = summary_size_from_stats(
+                store.build_summary(Precision.COARSE).stats(),
+                sst=config.sst,
+                sid=config.sid,
+            )
+            predicted = expected_summary_size(config, count)
+            assert predicted == pytest.approx(measured, rel=1.0)
+
+    def test_predicted_size_shrinks_with_subsumption(self):
+        sizes = [
+            expected_summary_size(WorkloadConfig(subsumption=q), 1000)
+            for q in (0.1, 0.5, 0.9)
+        ]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+
+class TestMatchingCost:
+    def test_t1_formula(self):
+        assert matching_step1_cost(
+            nae=2, nsr=3, ne=4, la=5, nse=3, nr=6, ls=7
+        ) == 2 * max(3 * 5, 4 * 5) + 3 * 6 * 7
+
+    def test_t2_is_collected_count(self):
+        assert matching_step2_cost(42) == 42.0
+
+    def test_total(self):
+        total = matching_total_cost(1, 1, 1, 1, 1, 1, 1, collected=10)
+        assert total == matching_step1_cost(1, 1, 1, 1, 1, 1, 1) + 10

@@ -1,0 +1,79 @@
+"""System reporting and the load-imbalance metric."""
+
+import pytest
+
+from repro.analysis.report import build_report, gini
+from repro.broker.system import SummaryPubSub
+from repro.model import parse_subscription
+from repro.network import Topology
+
+
+class TestGini:
+    def test_even_distribution_is_zero(self):
+        assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_single_hot_spot_approaches_one(self):
+        value = gini([0.0] * 9 + [100.0])
+        assert value == pytest.approx(0.9)
+
+    def test_monotone_in_concentration(self):
+        spread = gini([4.0, 3.0, 2.0, 1.0])
+        concentrated = gini([9.0, 0.5, 0.3, 0.2])
+        assert concentrated > spread
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([1.0, -1.0])
+
+    def test_scale_invariant(self):
+        assert gini([1.0, 2.0, 3.0]) == pytest.approx(gini([10.0, 20.0, 30.0]))
+
+
+class TestSystemReport:
+    @pytest.fixture
+    def system(self, schema):
+        system = SummaryPubSub(Topology.line(3), schema)
+        system.subscribe(2, parse_subscription(schema, "price > 1 AND price < 3"))
+        system.subscribe(2, parse_subscription(schema, "price > 2 AND price < 5"))
+        system.run_propagation_period()
+        from repro.model import Event
+
+        system.publish(0, Event.of(price=4.0))  # matches second, FPs first
+        system.publish(0, Event.of(price=10.0))  # matches neither
+        return system
+
+    def test_per_broker_rows(self, system):
+        report = build_report(system)
+        assert [b.broker for b in report.brokers] == [0, 1, 2]
+        by_id = {b.broker: b for b in report.brokers}
+        assert by_id[2].local_subscriptions == 2
+        assert by_id[2].deliveries == 1
+        assert by_id[2].false_positive_notifies >= 1  # the COARSE merge
+
+    def test_aggregates(self, system):
+        report = build_report(system)
+        assert report.total_subscriptions == 2
+        assert report.total_deliveries == 1
+        assert 0.0 < report.false_positive_rate < 1.0
+        assert report.total_storage_bytes > 0
+
+    def test_examination_gini_in_range(self, system):
+        report = build_report(system)
+        assert 0.0 <= report.examination_gini < 1.0
+
+    def test_busiest(self, system):
+        report = build_report(system)
+        busiest = report.busiest(1)
+        assert len(busiest) == 1
+        assert busiest[0].events_examined == max(
+            b.events_examined for b in report.brokers
+        )
+
+    def test_str_renders_all_brokers(self, system):
+        text = str(build_report(system))
+        assert "totals:" in text
+        assert text.count("\n") >= 4

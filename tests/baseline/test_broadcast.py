@@ -1,0 +1,89 @@
+"""The broadcast baseline: correctness and the paper's cost formula."""
+
+import random
+
+import pytest
+
+from repro.analysis.cost_model import baseline_bandwidth
+from repro.baseline.broadcast import BroadcastPubSub
+from repro.model import Event, parse_subscription
+from repro.network import Topology, cable_wireless_24
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestDelivery:
+    def test_matches_oracle(self):
+        config = WorkloadConfig(sigma=5, subsumption=0.5)
+        generator = WorkloadGenerator(config, seed=13)
+        system = BroadcastPubSub(cable_wireless_24(), generator.schema)
+        for broker_id in system.topology.brokers:
+            for subscription in generator.subscriptions(config.sigma):
+                system.subscribe(broker_id, subscription)
+        system.run_propagation_period()
+        rng = random.Random(2)
+        for event in generator.events(15):
+            publisher = rng.randrange(system.topology.num_brokers)
+            outcome = system.publish(publisher, event)
+            got = {(d.broker, d.sid) for d in outcome.deliveries}
+            assert got == system.ground_truth_matches(event)
+
+    def test_local_match_without_propagation(self, schema):
+        """The publisher's own broker knows its subscriptions immediately."""
+        system = BroadcastPubSub(Topology.line(3), schema)
+        sid = system.subscribe(0, parse_subscription(schema, "price > 1"))
+        outcome = system.publish(0, Event.of(price=2.0))
+        assert {d.sid for d in outcome.deliveries} == {sid}
+
+    def test_unsubscribe(self, schema):
+        system = BroadcastPubSub(Topology.line(3), schema)
+        sid = system.subscribe(0, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        assert system.unsubscribe(0, sid)
+        assert system.publish(0, Event.of(price=2.0)).deliveries == []
+        assert not system.unsubscribe(0, sid)
+
+
+class TestCostFormula:
+    def test_measured_bandwidth_matches_paper_formula(self, schema):
+        """Measured broadcast bytes = (n-1) x avg hops x n x sigma x size,
+        when every subscription has the same encoded size."""
+        topology = cable_wireless_24()
+        system = BroadcastPubSub(topology, schema)
+        subscription = parse_subscription(schema, "price > 1.23")
+        sigma = 3
+        for broker_id in topology.brokers:
+            for _ in range(sigma):
+                system.subscribe(broker_id, subscription)
+        system.run_propagation_period()
+        size = system.wire.subscription_size(subscription)
+        id_size = system.id_codec.byte_size
+        # Our batches carry sigma (sid + subscription) entries plus a
+        # 2-byte header (kind + count).
+        batch = sigma * (size + id_size) + 2
+        expected = (
+            (topology.num_brokers - 1)
+            * topology.average_path_length()
+            * topology.num_brokers
+            * batch
+        )
+        assert system.propagation_metrics.bytes_sent == pytest.approx(expected)
+        # And the analytic helper agrees up to the id/header framing.
+        formula = baseline_bandwidth(
+            topology.num_brokers, topology.average_path_length(), sigma, size
+        )
+        assert system.propagation_metrics.bytes_sent >= formula
+
+    def test_storage_is_full_replication(self, schema):
+        topology = Topology.line(4)
+        system = BroadcastPubSub(topology, schema)
+        subscription = parse_subscription(schema, "price > 1")
+        for broker_id in topology.brokers:
+            system.subscribe(broker_id, subscription)
+        system.run_propagation_period()
+        size = system.wire.subscription_size(subscription)
+        assert system.total_table_storage() == 4 * 4 * size
+
+    def test_empty_period_sends_nothing(self, schema):
+        system = BroadcastPubSub(Topology.line(3), schema)
+        snapshot = system.run_propagation_period()
+        assert snapshot["messages"] == 0

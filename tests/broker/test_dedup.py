@@ -1,0 +1,70 @@
+"""Publish-id de-duplication at the broker layer."""
+
+import pytest
+
+from repro.broker.broker import SummaryBroker
+from repro.model import Event, parse_subscription, stock_schema
+from repro.summary.precision import Precision
+
+
+@pytest.fixture
+def broker(schema):
+    broker = SummaryBroker(0, schema, Precision.COARSE)
+    subscription = parse_subscription(schema, "price > 1")
+    sid = broker.subscribe(subscription)
+    broker.begin_period()
+    broker.finish_period()
+    return broker
+
+
+class TestRoutingDedup:
+    def test_first_routing_true_then_false(self, broker):
+        assert broker.first_routing_of(77)
+        assert not broker.first_routing_of(77)
+        assert broker.duplicates_suppressed == 1
+
+    def test_distinct_publishes_independent(self, broker):
+        assert broker.first_routing_of(1)
+        assert broker.first_routing_of(2)
+        assert broker.duplicates_suppressed == 0
+
+    def test_zero_id_never_dedups(self, broker):
+        assert broker.first_routing_of(0)
+        assert broker.first_routing_of(0)
+        assert broker.duplicates_suppressed == 0
+
+    def test_lru_capacity_bounds_memory(self, broker):
+        broker._dedup_capacity = 8
+        for publish_id in range(1, 20):
+            broker.first_routing_of(publish_id)
+        assert len(broker._routed_publishes) <= 8
+        # An ancient id re-appears as "first" after eviction (bounded
+        # memory trades perfect dedup for old traffic, by design).
+        assert broker.first_routing_of(1)
+
+
+class TestDeliveryDedup:
+    def test_second_delivery_suppressed(self, broker):
+        event = Event.of(price=5.0)
+        sid = next(iter(broker.store.ids()))
+        first = broker.deliver({sid}, event, publish_id=9)
+        second = broker.deliver({sid}, event, publish_id=9)
+        assert first == {sid}
+        assert second == set()
+        assert len(broker.deliveries) == 1
+
+    def test_same_event_new_publish_delivers_again(self, broker):
+        """Two legitimate publishes of identical content both deliver —
+        dedup keys on the publish, never the payload."""
+        event = Event.of(price=5.0)
+        sid = next(iter(broker.store.ids()))
+        broker.deliver({sid}, event, publish_id=10)
+        broker.deliver({sid}, event, publish_id=11)
+        assert len(broker.deliveries) == 2
+
+    def test_unidentified_delivery_never_deduped(self, broker):
+        event = Event.of(price=5.0)
+        sid = next(iter(broker.store.ids()))
+        broker.deliver({sid}, event)
+        broker.deliver({sid}, event)
+        assert len(broker.deliveries) == 2

@@ -1,0 +1,145 @@
+"""Broker snapshots and whole-system crash recovery."""
+
+import random
+
+import pytest
+
+from repro.broker.persistence import (
+    SNAPSHOT_MAGIC,
+    SnapshotCodec,
+    load_system,
+    save_system,
+)
+from repro.broker.system import SummaryPubSub
+from repro.model import parse_subscription
+from repro.network import Topology, cable_wireless_24
+from repro.wire.codec import CodecError
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def loaded_system(topology, sigma=5, seed=61):
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=0.5), seed=seed)
+    system = SummaryPubSub(topology, generator.schema)
+    subs = []
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(sigma):
+            system.subscribe(broker_id, subscription)
+            subs.append(subscription)
+    system.run_propagation_period()
+    return generator, system, subs
+
+
+class TestBrokerSnapshot:
+    def test_roundtrip_preserves_everything(self):
+        topology = Topology.line(4)
+        generator, system, _ = loaded_system(topology)
+        # Leave one subscription pending (post-period) to cover that path.
+        extra = generator.subscription()
+        system.subscribe(2, extra)
+
+        codec = SnapshotCodec(system.wire)
+        original = system.brokers[2]
+        data = codec.encode_broker(original)
+
+        fresh_system = SummaryPubSub(topology, generator.schema)
+        restored = fresh_system.brokers[2]
+        codec.restore_broker(data, restored)
+
+        assert restored.store.ids() == original.store.ids()
+        assert restored.merged_brokers == original.merged_brokers
+        assert [sid for sid, _s in restored.pending] == [
+            sid for sid, _s in original.pending
+        ]
+        assert (
+            restored.kept_summary.all_ids() == original.kept_summary.all_ids()
+        )
+        assert restored.store.next_local_id >= original.store.next_local_id
+
+    def test_watermark_survives_trailing_unsubscribe(self):
+        topology = Topology.line(2)
+        generator, system, _ = loaded_system(topology, sigma=3)
+        broker = system.brokers[0]
+        last = max(broker.store.ids())
+        broker.unsubscribe(last)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(broker)
+
+        fresh = SummaryPubSub(topology, generator.schema)
+        codec.restore_broker(data, fresh.brokers[0])
+        minted = fresh.brokers[0].subscribe(generator.subscription())
+        assert minted.local_id > last.local_id  # no id reuse
+
+    def test_bad_magic_rejected(self, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        with pytest.raises(CodecError):
+            codec.restore_broker(b"XXXX" + b"\x00" * 8, system.brokers[0])
+
+    def test_wrong_broker_rejected(self, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(system.brokers[0])
+        with pytest.raises(CodecError):
+            codec.restore_broker(data, system.brokers[1])
+
+    def test_restore_into_dirty_broker_rejected(self, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(system.brokers[0])
+        system.brokers[0].subscribe(parse_subscription(schema, "price > 1"))
+        with pytest.raises(ValueError):
+            codec.restore_broker(data, system.brokers[0])
+
+    def test_magic_versioned(self):
+        assert SNAPSHOT_MAGIC.endswith(b"1")
+
+
+class TestSystemRecovery:
+    def test_recovered_system_routes_identically(self, tmp_path):
+        topology = cable_wireless_24()
+        generator, system, subs = loaded_system(topology, sigma=4)
+        save_system(system, tmp_path)
+
+        recovered = load_system(
+            SummaryPubSub(topology, generator.schema), tmp_path
+        )
+        rng = random.Random(3)
+        events = [generator.matching_event(rng.choice(subs)) for _ in range(8)]
+        events += generator.events(4)
+        for event in events:
+            publisher = rng.randrange(topology.num_brokers)
+            before = system.publish(publisher, event)
+            after = recovered.publish(publisher, event)
+            assert {(d.broker, d.sid) for d in before.deliveries} == {
+                (d.broker, d.sid) for d in after.deliveries
+            }
+            assert before.hops == after.hops
+            assert before.bytes_sent == after.bytes_sent
+
+    def test_recovery_then_new_period_works(self, tmp_path):
+        topology = Topology.line(3)
+        generator, system, _ = loaded_system(topology, sigma=2)
+        save_system(system, tmp_path)
+        recovered = load_system(
+            SummaryPubSub(topology, generator.schema), tmp_path
+        )
+        subscription = generator.subscription()
+        sid = recovered.subscribe(2, subscription)
+        recovered.run_propagation_period()
+        event = generator.matching_event(subscription)
+        outcome = recovered.publish(0, event)
+        assert sid in {d.sid for d in outcome.deliveries}
+
+    def test_missing_snapshot_detected(self, tmp_path, schema):
+        system = SummaryPubSub(Topology.line(3), schema)
+        save_system(system, tmp_path)
+        (tmp_path / "broker-1.snap").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_system(SummaryPubSub(Topology.line(3), schema), tmp_path)
+
+    def test_snapshot_files_per_broker(self, tmp_path, schema):
+        system = SummaryPubSub(Topology.line(3), schema)
+        written = save_system(system, tmp_path)
+        assert [path.name for path in written] == [
+            "broker-0.snap", "broker-1.snap", "broker-2.snap",
+        ]

@@ -1,0 +1,126 @@
+"""Algorithm 3 — BROCLI event routing, including the paper's example 3."""
+
+import pytest
+
+from repro.broker.propagation import TargetPolicy
+from repro.broker.system import SummaryPubSub
+from repro.network import Topology, cable_wireless_24, paper_example_tree
+from repro.workload.popularity import (
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+def probe_system(topology, policy=TargetPolicy.SMALLEST_DEGREE):
+    system = SummaryPubSub(topology, popularity_schema(), propagation_policy=policy)
+    sids = {}
+    for broker_id in topology.brokers:
+        sids[broker_id] = system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+    return system, sids
+
+
+class TestPaperExample3:
+    """Section 4.3: an event matching paper brokers 4, 8, 13 enters at
+    broker 1 (nodes 3, 7, 12; entry node 0)."""
+
+    def test_deliveries_and_routing(self, figure7_tree):
+        system, sids = probe_system(figure7_tree)
+        event = popularity_event({3, 7, 12})
+        outcome = system.publish(0, event)
+        assert outcome.matched_brokers == {3, 7, 12}
+        delivered = {(d.broker, d.sid) for d in outcome.deliveries}
+        assert delivered == {(3, sids[3]), (7, sids[7]), (12, sids[12])}
+
+    def test_first_forward_is_broker5(self, figure7_tree):
+        """Broker 1 forwards to the highest-degree broker: paper broker 5."""
+        system, _ = probe_system(figure7_tree)
+        hops = []
+        original = system.router._next_router
+
+        def spy(brocli, origin):
+            choice = original(brocli, origin)
+            hops.append(choice)
+            return choice
+
+        system.router._next_router = spy
+        system.publish(0, popularity_event({3, 7, 12}))
+        assert hops[0] == 4  # paper broker 5
+        # ... then brokers 8 and 11 (nodes 7 and 10), per the example.
+        assert hops[1:] == [7, 10]
+
+    def test_example3_hop_budget(self, figure7_tree):
+        """The example's trace costs exactly 5 hops: BROCLI forwards 1->5,
+        5->8, 8->11, plus notifications 5->4 and 11->13; broker 8's own
+        match is delivered locally."""
+        system, _ = probe_system(figure7_tree)
+        outcome = system.publish(0, popularity_event({3, 7, 12}))
+        assert outcome.hops == 5
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", list(TargetPolicy))
+    def test_every_matched_broker_delivered_exactly_once(self, policy):
+        topology = cable_wireless_24()
+        system, sids = probe_system(topology, policy)
+        matched = {1, 5, 9, 17, 23}
+        outcome = system.publish(0, popularity_event(matched))
+        delivered = [d.sid for d in outcome.deliveries]
+        assert set(delivered) == {sids[b] for b in matched}
+        assert len(delivered) == len(matched)  # no duplicates
+
+    def test_no_match_event_still_terminates(self, figure7_tree):
+        system, _ = probe_system(figure7_tree)
+        outcome = system.publish(0, popularity_event(set()))
+        assert outcome.deliveries == []
+        assert outcome.hops > 0  # the search still covered all brokers
+
+    def test_publisher_is_its_own_first_router(self, figure7_tree):
+        """A match owned by the publisher is delivered locally (no hop)."""
+        system, sids = probe_system(figure7_tree)
+        outcome = system.publish(3, popularity_event({3}))
+        assert {(d.broker, d.sid) for d in outcome.deliveries} == {(3, sids[3])}
+
+    def test_every_broker_examined(self, figure7_tree):
+        """BROCLI only completes once every broker's summary was consulted."""
+        system, _ = probe_system(figure7_tree)
+        before = {b: br.events_examined for b, br in system.brokers.items()}
+        system.publish(0, popularity_event({12}))
+        examined = {
+            b
+            for b, br in system.brokers.items()
+            if br.events_examined > before[b]
+        }
+        # The examining brokers' merged knowledge must cover all 13.
+        covered = set()
+        for broker_id in examined:
+            covered |= system.brokers[broker_id].merged_brokers
+        assert covered == set(range(13))
+
+    def test_hops_scale_with_popularity(self):
+        topology = cable_wireless_24()
+        system, _ = probe_system(topology, TargetPolicy.HIGHEST_DEGREE)
+        small = system.publish(0, popularity_event({1, 2}))
+        big = system.publish(0, popularity_event(set(range(1, 20))))
+        assert big.hops > small.hops
+
+
+class TestAcrossTopologies:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [
+            lambda: Topology.line(6),
+            lambda: Topology.star(6),
+            lambda: Topology.random_tree(10, seed=5),
+            lambda: Topology.random_connected(10, 4, seed=5),
+            cable_wireless_24,
+        ],
+    )
+    def test_delivery_correct_everywhere(self, topology_factory):
+        topology = topology_factory()
+        system, sids = probe_system(topology)
+        matched = set(list(topology.brokers)[:: max(1, topology.num_brokers // 3)])
+        for publisher in (0, topology.num_brokers - 1):
+            outcome = system.publish(publisher, popularity_event(matched))
+            assert outcome.matched_brokers == matched

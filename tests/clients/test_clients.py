@@ -1,0 +1,148 @@
+"""Consumers and producers (figure-1 entities)."""
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.clients import Consumer, Producer
+from repro.ext.advertisements import AdvertisingPubSub
+from repro.model import Event, parse_subscription, stock_schema
+from repro.network import Topology, paper_example_tree
+
+
+@pytest.fixture
+def system(schema):
+    return SummaryPubSub(paper_example_tree(), schema)
+
+
+class TestConsumer:
+    def test_subscribe_from_text(self, system):
+        consumer = Consumer(system, broker_id=3)
+        sid = consumer.subscribe("price > 8.30 AND price < 8.70")
+        assert sid in consumer.subscriptions
+        assert sid in system.brokers[3].store
+
+    def test_inbox_receives_matches(self, system):
+        consumer = Consumer(system, broker_id=3)
+        sid = consumer.subscribe("price > 1")
+        system.run_propagation_period()
+        producer = Producer(system, broker_id=0)
+        producer.publish(price=5.0)
+        assert consumer.drain() == [(sid, Event.of(price=5.0))]
+        assert consumer.inbox == []  # drained
+
+    def test_callback_mode(self, system):
+        seen = []
+        consumer = Consumer(
+            system, 3, on_event=lambda c, sid, event: seen.append(event)
+        )
+        consumer.subscribe("price > 1")
+        system.run_propagation_period()
+        Producer(system, 0).publish(price=5.0)
+        assert seen == [Event.of(price=5.0)]
+        assert consumer.inbox == []  # callback mode bypasses the inbox
+
+    def test_only_own_deliveries_arrive(self, system):
+        a = Consumer(system, 3)
+        b = Consumer(system, 7)
+        a.subscribe("price > 1")
+        b.subscribe("volume > 1")
+        system.run_propagation_period()
+        Producer(system, 0).publish(price=5.0)
+        assert len(a.drain()) == 1
+        assert b.drain() == []
+
+    def test_two_consumers_same_broker(self, system):
+        a = Consumer(system, 3)
+        b = Consumer(system, 3)
+        sid_a = a.subscribe("price > 1")
+        b.subscribe("price > 2")
+        system.run_propagation_period()
+        Producer(system, 0).publish(price=1.5)
+        assert [sid for sid, _e in a.drain()] == [sid_a]
+        assert b.drain() == []  # 1.5 fails b's threshold
+
+    def test_unsubscribe(self, system):
+        consumer = Consumer(system, 3)
+        sid = consumer.subscribe("price > 1")
+        system.run_propagation_period()
+        assert consumer.unsubscribe(sid)
+        Producer(system, 0).publish(price=5.0)
+        assert consumer.drain() == []
+        assert not consumer.unsubscribe(sid)
+
+    def test_close_withdraws_interests(self, system):
+        consumer = Consumer(system, 3)
+        sid = consumer.subscribe("price > 1")
+        consumer.close()
+        assert sid not in system.brokers[3].store
+        with pytest.raises(RuntimeError):
+            consumer.subscribe("price > 2")
+
+    def test_context_manager(self, system):
+        with Consumer(system, 3) as consumer:
+            sid = consumer.subscribe("price > 1")
+        assert sid not in system.brokers[3].store
+
+    def test_close_is_idempotent(self, system):
+        consumer = Consumer(system, 3)
+        consumer.close()
+        consumer.close()
+
+    def test_unknown_broker_rejected(self, system):
+        with pytest.raises(ValueError):
+            Consumer(system, 99)
+
+
+class TestProducer:
+    def test_publish_keywords(self, system):
+        result = Producer(system, 0).publish(price=5.0, symbol="OTE")
+        assert result.hops >= 0
+
+    def test_publish_event_object(self, system):
+        result = Producer(system, 0).publish(Event.of(price=5.0))
+        assert result.deliveries == []
+
+    def test_publish_argument_validation(self, system):
+        producer = Producer(system, 0)
+        with pytest.raises(ValueError):
+            producer.publish()
+        with pytest.raises(ValueError):
+            producer.publish(Event.of(price=1.0), price=2.0)
+
+    def test_published_counter(self, system):
+        producer = Producer(system, 0)
+        producer.publish(price=1.0)
+        producer.publish(price=2.0)
+        assert producer.published == 2
+
+    def test_advertise_requires_capable_system(self, system):
+        with pytest.raises(TypeError):
+            Producer(system, 0).advertise("price < 100")
+
+    def test_advertise_on_advertising_system(self, schema):
+        system = AdvertisingPubSub(Topology.line(3), schema)
+        producer = Producer(system, 0)
+        producer.advertise("price < 100")
+        consumer = Consumer(system, 2)
+        consumer.subscribe("price > 1")
+        system.run_propagation_period()
+        producer.publish(price=5.0)
+        assert len(consumer.drain()) == 1
+
+
+class TestEndToEndStory:
+    def test_figure1_roundtrip(self, schema):
+        """The complete figure-1 story: ES -> EBN -> ED."""
+        system = SummaryPubSub(paper_example_tree(), schema)
+        alerts = []
+        displayer = Consumer(
+            system, 12, name="alice",
+            on_event=lambda c, sid, e: alerts.append((c.name, e.value("symbol"))),
+        )
+        displayer.subscribe("symbol = OTE AND price < 9")
+        system.run_propagation_period()
+        source = Producer(system, 0, name="nyse-feed")
+        source.publish(symbol="OTE", price=8.40)
+        source.publish(symbol="IBM", price=90.0)
+        source.publish(symbol="OTE", price=9.40)
+        assert alerts == [("alice", "OTE")]

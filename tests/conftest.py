@@ -1,0 +1,72 @@
+"""Shared fixtures: the paper's running example and small reusable systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Event, parse_subscription, stock_schema
+from repro.network import Topology, paper_example_tree
+from repro.summary import Precision, SubscriptionStore
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture
+def schema():
+    """The paper's 7-attribute stock schema (figures 2-6)."""
+    return stock_schema()
+
+
+@pytest.fixture
+def paper_subscriptions(schema):
+    """Figure 3's two subscriptions (S1, S2)."""
+    s1 = parse_subscription(
+        schema,
+        "exchange ~ N*SE AND symbol = OTE AND price < 8.70 AND price > 8.30",
+    )
+    s2 = parse_subscription(
+        schema,
+        "symbol >* OT AND price = 8.20 AND volume > 130000 AND low < 8.05",
+    )
+    return s1, s2
+
+
+@pytest.fixture
+def paper_event():
+    """Figure 2's example event."""
+    from repro.model import AttributeType
+
+    return Event.from_pairs(
+        [
+            ("exchange", AttributeType.STRING, "NYSE"),
+            ("symbol", AttributeType.STRING, "OTE"),
+            ("when", AttributeType.DATE, 1_057_061_125.0),
+            ("price", AttributeType.FLOAT, 8.40),
+            ("volume", AttributeType.INTEGER, 132_700),
+            ("high", AttributeType.FLOAT, 8.80),
+            ("low", AttributeType.FLOAT, 8.22),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_store(schema, paper_subscriptions):
+    """A broker-0 store holding figure 3's subscriptions."""
+    store = SubscriptionStore(schema, broker_id=0)
+    for subscription in paper_subscriptions:
+        store.subscribe(subscription)
+    return store
+
+
+@pytest.fixture
+def figure7_tree() -> Topology:
+    return paper_example_tree()
+
+
+@pytest.fixture
+def small_workload() -> WorkloadGenerator:
+    return WorkloadGenerator(WorkloadConfig(sigma=10, subsumption=0.5), seed=42)
+
+
+@pytest.fixture(params=[Precision.COARSE, Precision.EXACT])
+def precision(request) -> Precision:
+    return request.param

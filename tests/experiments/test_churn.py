@@ -1,0 +1,41 @@
+"""The churn-dynamics experiment driver."""
+
+import pytest
+
+from repro.experiments import churn
+from repro.network import Topology
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return churn.run(
+        topology=Topology.random_tree(8, seed=2),
+        periods=4,
+        arrivals_per_period=6,
+        quick=True,
+    )
+
+
+class TestChurnExperiment:
+    def test_row_per_period_plus_refresh(self, result):
+        assert len(result.rows) == 5
+        assert result.rows[-1]["phase"] == "refreshed"
+
+    def test_dead_ids_accumulate_under_churn(self, result):
+        churning = [row for row in result.rows if row["phase"] == "churning"]
+        assert churning[-1]["dead_ids"] > churning[0]["dead_ids"]
+
+    def test_refresh_purges_dead_ids(self, result):
+        assert result.rows[-1]["dead_ids"] == 0
+
+    def test_refresh_restores_storage_efficiency(self, result):
+        last_churning = result.rows[-2]
+        refreshed = result.rows[-1]
+        assert refreshed["bytes_per_live"] < last_churning["bytes_per_live"]
+        assert refreshed["live_subs"] == last_churning["live_subs"]
+
+    def test_live_count_grows(self, result):
+        live = [row["live_subs"] for row in result.rows[:-1]]
+        assert live == sorted(live)

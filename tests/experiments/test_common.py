@@ -1,0 +1,56 @@
+"""Result-table plumbing for the experiment drivers."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, format_table, geometric_ratio
+
+
+@pytest.fixture
+def result():
+    table = ExperimentResult(
+        name="Test", description="desc", columns=["x", "y"]
+    )
+    table.add_row(x=1, y=10.5)
+    table.add_row(x=2, y=2_000_000.0)
+    return table
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self, result):
+        assert result.column("x") == [1, 2]
+        assert result.column("y") == [10.5, 2_000_000.0]
+
+    def test_missing_column_rejected(self, result):
+        with pytest.raises(ValueError):
+            result.add_row(x=3)
+
+    def test_format_contains_everything(self, result):
+        result.notes.append("a note")
+        text = format_table(result)
+        assert "Test" in text and "desc" in text
+        assert "10.50" in text
+        assert "2e+06" in text  # large floats compact to 3 significant digits
+        assert "note: a note" in text
+
+    def test_str_matches_format(self, result):
+        assert str(result) == format_table(result)
+
+    def test_empty_table_formats(self):
+        table = ExperimentResult(name="E", description="d", columns=["a"])
+        assert "E" in format_table(table)
+
+
+class TestGeometricRatio:
+    def test_constant_ratio(self):
+        assert geometric_ratio([2, 4, 8], [1, 2, 4]) == pytest.approx(2.0)
+
+    def test_mixed(self):
+        assert geometric_ratio([4, 1], [1, 4]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_ratio([1], [1, 2])
+        with pytest.raises(ValueError):
+            geometric_ratio([], [])
+        with pytest.raises(ValueError):
+            geometric_ratio([0], [1])

@@ -1,0 +1,72 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.export import export_csv, export_json, write_report
+
+
+@pytest.fixture
+def result():
+    table = ExperimentResult(
+        name="Figure 8", description="bandwidth", columns=["sigma", "summary@10%"]
+    )
+    table.add_row(**{"sigma": 10, "summary@10%": 33_104})
+    table.add_row(**{"sigma": 100, "summary@10%": 314_575})
+    table.notes.append("measured")
+    return table
+
+
+class TestCsv:
+    def test_roundtrip_through_csv_reader(self, result):
+        rows = list(csv.DictReader(io.StringIO(export_csv(result))))
+        assert rows[0] == {"sigma": "10", "summary@10%": "33104"}
+        assert len(rows) == 2
+
+    def test_header_order_matches_columns(self, result):
+        first_line = export_csv(result).splitlines()[0]
+        assert first_line == "sigma,summary@10%"
+
+
+class TestJson:
+    def test_payload_complete(self, result):
+        payload = json.loads(export_json(result))
+        assert payload["name"] == "Figure 8"
+        assert payload["columns"] == ["sigma", "summary@10%"]
+        assert payload["rows"][1]["summary@10%"] == 314_575
+        assert payload["notes"] == ["measured"]
+
+
+class TestWriteReport:
+    def test_writes_files_and_manifest(self, result, tmp_path):
+        written = write_report([result], tmp_path)
+        names = {path.name for path in written}
+        assert names == {"figure-8.csv", "figure-8.json", "manifest.json"}
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest[0]["name"] == "Figure 8"
+        assert (tmp_path / manifest[0]["csv"]).exists()
+
+    def test_empty_run(self, tmp_path):
+        written = write_report([], tmp_path)
+        assert [path.name for path in written] == ["manifest.json"]
+
+    def test_nested_directory_created(self, result, tmp_path):
+        target = tmp_path / "a" / "b"
+        write_report([result], target)
+        assert (target / "figure-8.csv").exists()
+
+
+def test_sensitivity_runs_on_small_zoo():
+    """The sensitivity driver produces per-topology ratios > 1 and
+    propagation hops < n — the paper's 'similar in all cases' claim."""
+    from repro.experiments.sensitivity import run
+
+    result = run(topologies=["paper-tree-13", "star-24"], sigma=5, quick=True)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["bw_ratio"] > 1.0
+        assert row["prop_hops"] < row["n"]

@@ -1,0 +1,52 @@
+"""The multi-ISP federation experiment driver."""
+
+import pytest
+
+from repro.experiments import federation
+from repro.experiments.federation import split_traffic
+from repro.network.federation import three_isp_federation
+from repro.network.metrics import NetworkMetrics
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return federation.run(sizes=(8, 10, 6), sigma=3, events=15, quick=True)
+
+
+class TestFederationExperiment:
+    def test_three_phases(self, result):
+        assert result.column("phase") == ["propagation", "events", "events+locality"]
+
+    def test_propagation_is_peering_light(self, result):
+        prop = result.rows[0]
+        assert prop["inter_share%"] < 50.0
+
+    def test_events_are_peering_heavy(self, result):
+        events = result.rows[1]
+        assert events["inter_share%"] > result.rows[0]["inter_share%"]
+
+    def test_locality_reduces_inter_bytes(self, result):
+        plain = result.rows[1]
+        local = result.rows[2]
+        assert local["inter_bytes"] < plain["inter_bytes"]
+
+    def test_totals_positive(self, result):
+        for row in result.rows:
+            assert row["intra_bytes"] + row["inter_bytes"] > 0
+
+
+class TestSplitTraffic:
+    def test_classification(self):
+        _topology, fed = three_isp_federation(sizes=(4, 4, 4), seed=0)
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, size=10, path_length=1)  # intra ISP 0
+        metrics.record(0, 5, size=10, path_length=2)  # inter 0 -> 1
+        intra, inter = split_traffic(metrics, fed)
+        assert intra == 10
+        assert inter == 20
+
+    def test_empty_metrics(self):
+        _topology, fed = three_isp_federation(sizes=(4, 4, 4), seed=0)
+        assert split_traffic(NetworkMetrics(), fed) == (0, 0)

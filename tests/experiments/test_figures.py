@@ -1,0 +1,152 @@
+"""The paper's figures, asserted as *claims* on small/quick configurations.
+
+Each test runs the real experiment driver (scaled down) and asserts the
+qualitative result the paper reports — the gradient/ordering/crossover,
+not absolute byte counts.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig8_bandwidth,
+    fig9_prop_hops,
+    fig10_event_hops,
+    fig11_storage,
+    tables,
+)
+from repro.network import cable_wireless_24
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return cable_wireless_24()
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, topology):
+        return fig8_bandwidth.run(
+            topology=topology, sigmas=(10, 100), quick=True
+        )
+
+    def test_summary_beats_siena(self, result):
+        """Paper: 'we drastically outperform it (by a factor of 4 to 8)'."""
+        for row in result.rows:
+            assert row["siena@10%"] / row["summary@10%"] > 2.0
+            assert row["siena@90%"] / row["summary@90%"] > 2.0
+
+    def test_both_beat_broadcast(self, result):
+        for row in result.rows:
+            assert row["summary@10%"] < row["broadcast"]
+            assert row["siena@10%"] < row["broadcast"]
+
+    def test_higher_subsumption_cheaper(self, result):
+        for row in result.rows:
+            assert row["summary@90%"] < row["summary@10%"]
+            assert row["siena@90%"] < row["siena@10%"]
+
+    def test_summary_grows_sublinearly(self, result):
+        """Scalability: 10x the subscriptions costs well under 10x bytes."""
+        first, last = result.rows[0], result.rows[-1]
+        sigma_growth = last["sigma"] / first["sigma"]
+        byte_growth = last["summary@90%"] / first["summary@90%"]
+        assert byte_growth < sigma_growth
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self, topology):
+        return fig9_prop_hops.run(topology=topology, quick=True)
+
+    def test_summary_flat_below_n(self, result, topology):
+        values = set(result.column("summary"))
+        assert len(values) == 1  # flat line
+        assert values.pop() < topology.num_brokers
+
+    def test_siena_much_larger(self, result):
+        for row in result.rows:
+            assert row["siena"] > 4 * row["summary"]
+
+    def test_siena_decreases_with_subsumption(self, result):
+        siena = result.column("siena")
+        assert siena == sorted(siena, reverse=True)
+
+    def test_siena_near_worst_case_at_low_subsumption(self, result, topology):
+        n = topology.num_brokers
+        assert result.rows[0]["siena"] > 0.75 * n * (n - 1)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self, topology):
+        return fig10_event_hops.run(topology=topology, quick=True)
+
+    def test_summary_wins_at_low_and_mid_popularity(self, result):
+        """Paper: 'Our algorithm is shown to be better for event
+        popularities up to 75%'."""
+        by_popularity = {row["popularity%"]: row for row in result.rows}
+        for popularity in (10, 25, 50, 75):
+            row = by_popularity[popularity]
+            assert row["summary"] < row["siena"], f"at {popularity}%"
+
+    def test_gap_closes_at_high_popularity(self, result):
+        """At 90% the two methods converge (the paper has Siena slightly
+        ahead; our reconstruction yields a near-tie — see EXPERIMENTS.md)."""
+        row = {r["popularity%"]: r for r in result.rows}[90]
+        assert abs(row["summary"] - row["siena"]) / row["siena"] < 0.15
+
+    def test_both_increase_with_popularity(self, result):
+        summary = result.column("summary")
+        siena = result.column("siena")
+        assert summary == sorted(summary)
+        assert siena == sorted(siena)
+
+    def test_hops_bounded_by_paper_scale(self, result, topology):
+        n = topology.num_brokers
+        for row in result.rows:
+            assert row["summary"] < n + 2
+            assert row["siena"] < n
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self, topology):
+        return fig11_storage.run(topology=topology, sizes=(10, 100), quick=True)
+
+    def test_summary_beats_siena_2_to_5x(self, result):
+        """Paper: 'outperforms Siena by about two to five times'."""
+        for row in result.rows:
+            assert row["siena@10%"] / row["summary@10%"] > 2.0
+            assert row["siena@90%"] / row["summary@90%"] > 2.0
+
+    def test_siena_low_subsumption_near_broadcast(self, result):
+        """Paper: 'for small subsumption probabilities, Siena requires
+        almost the same storage space as the baseline approach'."""
+        for row in result.rows:
+            assert row["siena@10%"] > 0.7 * row["broadcast"]
+
+    def test_storage_grows_with_outstanding(self, result):
+        summary = result.column("summary@10%")
+        assert summary == sorted(summary)
+
+
+class TestTables:
+    def test_table1_lists_all_symbols(self):
+        result = tables.table1_symbols()
+        symbols = set(result.column("symbol"))
+        assert {"nt", "S", "sigma", "nsr", "La", "Ls", "ssv", "sst", "sid"} <= symbols
+
+    def test_table2_reflects_live_config(self):
+        result = tables.table2_values()
+        values = dict(zip(result.column("symbol"), result.column("value")))
+        assert values["nt"] == 10
+        assert values["S"] == 1000
+
+    def test_computational_demands(self):
+        result = tables.computational_demands(sizes=(100, 200), events_per_size=5)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["summary_us"] > 0 and row["naive_us"] > 0
+        assert any("R^2" in note for note in result.notes)

@@ -1,0 +1,67 @@
+"""The latency and broker-count-scaling experiment drivers."""
+
+import pytest
+
+from repro.experiments import latency, scale
+from repro.network import Topology, UniformLatency
+
+pytestmark = pytest.mark.slow
+
+
+class TestLatencyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return latency.run(popularities=(0.10, 0.50, 0.90), quick=True)
+
+    def test_all_series_positive(self, result):
+        for row in result.rows:
+            assert row["summary"] > 0
+            assert row["summary+vdeg"] > 0
+            assert row["siena"] > 0
+
+    def test_latency_grows_with_popularity(self, result):
+        summary = result.column("summary")
+        siena = result.column("siena")
+        assert summary == sorted(summary)
+        assert siena == sorted(siena)
+
+    def test_summary_pays_a_latency_premium(self, result):
+        """The trade-off the paper names: our serialized BROCLI chain costs
+        time relative to parallel reverse-path fan-out."""
+        for row in result.rows:
+            assert row["summary"] >= row["siena"]
+            # ... but bounded: well under 3x at any popularity.
+            assert row["summary"] < 3 * row["siena"]
+
+    def test_siena_model_is_max_path_delay(self):
+        topology = Topology.line(5)
+        model = UniformLatency(10.0)
+        assert latency.siena_event_latency(topology, model, 0, [2, 4]) == 40.0
+        assert latency.siena_event_latency(topology, model, 0, []) == 0.0
+
+
+class TestScaleExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scale.run(sizes=(13, 24, 48), quick=True)
+
+    def test_summary_hops_below_n_everywhere(self, result):
+        for row in result.rows:
+            assert row["summary_hops"] < row["n"]
+
+    def test_siena_hops_superlinear(self, result):
+        rows = result.rows
+        for smaller, larger in zip(rows, rows[1:]):
+            n_growth = larger["n"] / smaller["n"]
+            hop_growth = larger["siena_hops"] / smaller["siena_hops"]
+            assert hop_growth > n_growth  # worse than linear in n
+
+    def test_bandwidth_ratio_stays_favourable(self, result):
+        for row in result.rows:
+            assert row["bw_ratio"] > 1.0
+
+    def test_id_width_grows_logarithmically(self, result):
+        import math
+
+        for row in result.rows:
+            assert row["c1_bits"] == max(1, math.ceil(math.log2(row["n"])))

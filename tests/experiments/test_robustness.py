@@ -1,0 +1,42 @@
+"""The transport-robustness experiment driver."""
+
+import pytest
+
+from repro.experiments import robustness
+from repro.network import Topology
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return robustness.run(drop_rates=(0.0, 0.1, 0.3), quick=True)
+
+
+class TestRobustnessExperiment:
+    def test_zero_loss_is_perfect(self, result):
+        assert result.rows[0]["delivery_ratio"] == 1.0
+
+    def test_loss_degrades_monotonically(self, result):
+        ratios = result.column("delivery_ratio")
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 1.0
+
+    def test_duplication_fully_absorbed(self, result):
+        for row in result.rows:
+            assert row["dup_delivery_ratio"] == 1.0
+            assert row["duplicates_seen"] == 0
+
+    def test_loss_worse_than_per_message_rate(self, result):
+        """The serial BROCLI chain amplifies loss: at 30% drop, delivery
+        falls below 70%."""
+        worst = result.rows[-1]
+        assert worst["delivery_ratio"] < 1.0 - worst["drop%"] / 100.0 + 0.05
+
+
+class TestMeasureHelper:
+    def test_small_topology(self):
+        ratio, duplicates = robustness.measure_delivery_ratio(
+            Topology.line(4), 0.0, 0.0, events=5
+        )
+        assert ratio == 1.0 and duplicates == 0

@@ -1,0 +1,34 @@
+"""The repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_all
+
+
+class TestRunAll:
+    def test_tables_run(self):
+        results = run_all(["table1", "table2"], quick=True)
+        assert [r.name for r in results] == ["Table 1", "Table 2"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            run_all(["fig99"], quick=True)
+
+    def test_registry_covers_every_figure_and_table(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig8", "fig9", "fig10", "fig11", "sec524",
+            "sensitivity", "latency", "scale", "robustness", "churn", "federation",
+        }
+
+
+class TestCli:
+    def test_main_prints_tables(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "nsr" in output
+
+    def test_main_multiple(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 2" in output

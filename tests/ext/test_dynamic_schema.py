@@ -1,0 +1,93 @@
+"""Dynamic attribute schemata (section-6 extension)."""
+
+import pytest
+
+from repro.ext.dynamic_schema import DynamicSchema, VersionedIdCodec
+from repro.model import AttributeSpec, AttributeType, SubscriptionId, stock_schema
+from repro.wire.codec import CodecError
+
+
+@pytest.fixture
+def dynamic():
+    return DynamicSchema(stock_schema())
+
+
+class TestGrowth:
+    def test_initial_version(self, dynamic):
+        assert dynamic.version == 0
+        assert len(dynamic.current) == 7
+
+    def test_add_attribute_bumps_version(self, dynamic):
+        position = dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        assert position == 7
+        assert dynamic.version == 1
+        assert len(dynamic.current) == 8
+
+    def test_existing_positions_stable(self, dynamic):
+        before = {name: dynamic.current.position(name) for name in dynamic.current.names}
+        dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        dynamic.add_attribute(AttributeSpec("sector", AttributeType.STRING))
+        for name, position in before.items():
+            assert dynamic.current.position(name) == position
+
+    def test_duplicate_rejected(self, dynamic):
+        with pytest.raises(ValueError):
+            dynamic.add_attribute(AttributeSpec("price", AttributeType.FLOAT))
+
+    def test_old_snapshots_remain(self, dynamic):
+        dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        old = dynamic.at_version(0)
+        assert "dividend" not in old
+        assert "dividend" in dynamic.current
+
+    def test_unknown_version(self, dynamic):
+        with pytest.raises(ValueError):
+            dynamic.at_version(3)
+
+
+class TestMaskUpgrade:
+    def test_masks_valid_across_versions(self, dynamic):
+        mask = dynamic.current.attribute_mask(["price", "symbol"])
+        dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        assert dynamic.upgrade_mask(mask, from_version=0) == mask
+        assert dynamic.current.names_from_mask(mask) == ["symbol", "price"]
+
+    def test_too_wide_mask_rejected(self, dynamic):
+        with pytest.raises(ValueError):
+            dynamic.upgrade_mask(1 << 7, from_version=0)
+
+
+class TestVersionedIdCodec:
+    def test_roundtrip_current_version(self, dynamic):
+        codec = VersionedIdCodec(dynamic, num_brokers=24, max_subscriptions=1000)
+        sid = SubscriptionId(broker=3, local_id=7, attr_mask=0b1010)
+        data = codec.encode(sid, version=0)
+        assert codec.decode(data) == (sid, 0)
+
+    def test_old_ids_decode_after_growth(self, dynamic):
+        """The section-6 claim: growth 'only requires changing the c3
+        field' — ids minted before growth still decode."""
+        codec = VersionedIdCodec(dynamic, num_brokers=24, max_subscriptions=1000)
+        sid = SubscriptionId(broker=3, local_id=7, attr_mask=0b1010)
+        data = codec.encode(sid, version=0)
+        dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        decoded, version = codec.decode(data)
+        assert decoded == sid and version == 0
+
+    def test_new_ids_use_wider_c3(self, dynamic):
+        codec = VersionedIdCodec(dynamic, num_brokers=24, max_subscriptions=1000)
+        dynamic.add_attribute(AttributeSpec("dividend", AttributeType.FLOAT))
+        wide = SubscriptionId(broker=0, local_id=1, attr_mask=1 << 7)
+        data = codec.encode(wide, version=1)
+        assert codec.decode(data) == (wide, 1)
+        # The same mask cannot be minted under the old, 7-bit version.
+        with pytest.raises(ValueError):
+            codec.encode(wide, version=0)
+
+    def test_future_version_rejected(self, dynamic):
+        codec = VersionedIdCodec(dynamic, num_brokers=24, max_subscriptions=1000)
+        sid = SubscriptionId(broker=0, local_id=0, attr_mask=1)
+        data = codec.encode(sid, version=0)
+        # Corrupt the version prefix to something unknown.
+        with pytest.raises(CodecError):
+            codec.decode(b"\x05" + data[1:])

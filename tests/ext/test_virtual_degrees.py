@@ -1,0 +1,85 @@
+"""Virtual degrees: load spreading without losing correctness."""
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.ext.virtual_degrees import (
+    VirtualDegreeRouter,
+    enable_virtual_degrees,
+    hub_load_spread,
+)
+from repro.network import cable_wireless_24
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+def build(tolerance=None):
+    topology = cable_wireless_24()
+    system = SummaryPubSub(topology, popularity_schema())
+    for broker_id in topology.brokers:
+        system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+    if tolerance is not None:
+        enable_virtual_degrees(system, tolerance=tolerance)
+    return system
+
+
+def publish_burst(system, events=60, seed=0):
+    matched_sets = draw_matched_sets(24, 0.25, events, seed=seed)
+    for index, matched in enumerate(matched_sets):
+        outcome = system.publish(index % 24, popularity_event(matched))
+        assert outcome.matched_brokers == matched  # correctness preserved
+    return system
+
+
+class TestCorrectness:
+    def test_deliveries_unchanged(self):
+        publish_burst(build(tolerance=1))
+
+    def test_termination_on_every_event(self):
+        system = build(tolerance=2)
+        for matched in draw_matched_sets(24, 0.5, 20, seed=3):
+            system.publish(0, popularity_event(matched))  # must not loop
+
+    def test_invalid_tolerance(self):
+        system = build()
+        with pytest.raises(ValueError):
+            VirtualDegreeRouter(system.network, system.brokers, tolerance=-1)
+
+
+class TestLoadSpreading:
+    def test_hotspot_reduced(self):
+        """The section-6 goal verbatim: reduce the load of the
+        *maximum-degree* nodes, at a bounded hop-count cost."""
+        plain = publish_burst(build(), events=80, seed=7)
+        rotated = publish_burst(build(tolerance=1), events=80, seed=7)
+
+        hubs = plain.topology.brokers_by_degree(plain.topology.max_degree)
+        plain_hub_max = max(hub_load_spread(plain)[hub] for hub in hubs)
+        rotated_hub_max = max(hub_load_spread(rotated)[hub] for hub in hubs)
+        assert rotated_hub_max < plain_hub_max
+
+        plain_hops = plain.event_metrics.hops
+        rotated_hops = rotated.event_metrics.hops
+        # The paper's trade-off: some extra hops are acceptable, runaway
+        # growth is not.
+        assert rotated_hops <= plain_hops * 1.6
+
+    def test_rotation_is_per_event_deterministic(self):
+        a = build(tolerance=1)
+        b = build(tolerance=1)
+        matched = {3, 9, 15}
+        first = a.publish(0, popularity_event(matched))
+        second = b.publish(0, popularity_event(matched))
+        assert first.hops == second.hops
+
+    def test_zero_tolerance_still_rotates_within_ties(self):
+        """tolerance=0 restricts rotation to exact-degree ties (Dallas and
+        Atlanta at degree 7 on CW24), which is enough to split load."""
+        system = publish_burst(build(tolerance=0), events=80, seed=9)
+        loads = hub_load_spread(system)
+        assert loads[7] > 0 and loads[14] > 0

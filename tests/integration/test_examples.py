@@ -1,0 +1,38 @@
+"""Every example script must run clean — examples are API contracts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "paper_walkthrough.py",
+        "stock_ticker.py",
+        "system_shootout.py",
+        "news_alerts.py",
+        "operations_tour.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(script):
+    if script.name == "stock_ticker.py":
+        args = [sys.executable, str(script), "10", "40"]  # shrink the run
+    else:
+        args = [sys.executable, str(script)]
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"

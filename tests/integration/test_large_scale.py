@@ -1,0 +1,64 @@
+"""Large-scale soak: 100 brokers, thousands of subscriptions.
+
+Guards against accidental quadratic blowups and verifies the paper's
+structural bounds at a size well beyond the evaluation's 24 nodes.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.network.backbone import scale_free_backbone
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def big_system():
+    topology = scale_free_backbone(100, seed=17)
+    generator = WorkloadGenerator(WorkloadConfig(sigma=25, subsumption=0.5), seed=17)
+    system = SummaryPubSub(topology, generator.schema)
+    subscriptions = []
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(25):
+            system.subscribe(broker_id, subscription)
+            subscriptions.append(subscription)
+    return system, generator, subscriptions
+
+
+def test_propagation_completes_quickly_and_below_n(big_system):
+    system, _generator, _subs = big_system
+    start = time.perf_counter()
+    snapshot = system.run_propagation_period()
+    elapsed = time.perf_counter() - start
+    assert snapshot["hops"] < 100
+    assert elapsed < 30.0, f"propagation took {elapsed:.1f}s at 2500 subscriptions"
+
+
+def test_events_route_correctly_at_scale(big_system):
+    system, generator, subscriptions = big_system
+    rng = random.Random(4)
+    start = time.perf_counter()
+    checked = 0
+    for _ in range(40):
+        event = generator.matching_event(rng.choice(subscriptions))
+        publisher = rng.randrange(100)
+        outcome = system.publish(publisher, event)
+        got = {(d.broker, d.sid) for d in outcome.deliveries}
+        assert got == system.ground_truth_matches(event)
+        assert outcome.hops < 100 + len(got) + 5
+        checked += 1
+    elapsed = time.perf_counter() - start
+    assert checked == 40
+    assert elapsed < 60.0, f"40 publishes took {elapsed:.1f}s"
+
+
+def test_storage_stays_proportionate(big_system):
+    system, _generator, subscriptions = big_system
+    total = system.total_summary_storage()
+    # Kept summaries across 100 brokers: well under full replication of
+    # 2500 raw ~50-byte subscriptions at every broker (100 x 125 KB).
+    assert total < 100 * len(subscriptions) * 50 / 2

@@ -1,0 +1,65 @@
+"""AttributeSpec validation and ordering."""
+
+import pytest
+
+from repro.model.attributes import AttributeSpec
+from repro.model.types import AttributeType
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = AttributeSpec("price", AttributeType.FLOAT)
+        assert spec.name == "price"
+        assert spec.is_arithmetic
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("", AttributeType.FLOAT)
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("my price", AttributeType.FLOAT)
+
+    def test_special_characters_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("price$", AttributeType.FLOAT)
+
+    def test_dots_dashes_underscores_allowed(self):
+        AttributeSpec("stock.price-usd_v2", AttributeType.FLOAT)
+
+    def test_type_must_be_enum(self):
+        with pytest.raises(TypeError):
+            AttributeSpec("price", "float")  # type: ignore[arg-type]
+
+
+class TestBehavior:
+    def test_frozen(self):
+        spec = AttributeSpec("price", AttributeType.FLOAT)
+        with pytest.raises(AttributeError):
+            spec.name = "cost"  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        a = AttributeSpec("price", AttributeType.FLOAT)
+        b = AttributeSpec("price", AttributeType.FLOAT)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_different_types_differ(self):
+        a = AttributeSpec("x", AttributeType.FLOAT)
+        b = AttributeSpec("x", AttributeType.INTEGER)
+        assert a != b
+
+    def test_ordering_by_name(self):
+        specs = [
+            AttributeSpec("volume", AttributeType.INTEGER),
+            AttributeSpec("price", AttributeType.FLOAT),
+        ]
+        assert sorted(specs)[0].name == "price"
+
+    def test_string_classification(self):
+        assert AttributeSpec("symbol", AttributeType.STRING).is_string
+        assert not AttributeSpec("symbol", AttributeType.STRING).is_arithmetic
+
+    def test_str_rendering(self):
+        assert str(AttributeSpec("price", AttributeType.FLOAT)) == "price:float"

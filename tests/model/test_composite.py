@@ -1,0 +1,120 @@
+"""Composite (OR) queries and their DNF parsing."""
+
+import pytest
+
+from repro.model import Event, parse_subscription
+from repro.model.composite import Query, parse_query
+from repro.model.parser import ParseError
+
+
+class TestQuery:
+    def test_needs_branches(self):
+        with pytest.raises(ValueError):
+            Query([])
+
+    def test_matches_any_branch(self, schema):
+        query = Query(
+            [
+                parse_subscription(schema, "symbol = OTE"),
+                parse_subscription(schema, "price < 5"),
+            ]
+        )
+        assert query.matches(Event.of(symbol="OTE", price=100.0))
+        assert query.matches(Event.of(symbol="IBM", price=2.0))
+        assert not query.matches(Event.of(symbol="IBM", price=100.0))
+
+    def test_first_matching_branch(self, schema):
+        query = parse_query(schema, "price < 5 OR price < 10")
+        assert query.first_matching_branch(Event.of(price=2.0)) == 0
+        assert query.first_matching_branch(Event.of(price=7.0)) == 1
+        assert query.first_matching_branch(Event.of(price=20.0)) is None
+
+    def test_attribution_is_exactly_one_branch(self, schema):
+        query = parse_query(schema, "price < 5 OR price < 10 OR symbol = OTE")
+        event = Event.of(price=2.0, symbol="OTE")  # matches all three
+        attributed = [
+            i for i in range(len(query)) if query.is_attributed_to(event, i)
+        ]
+        assert attributed == [0]
+
+    def test_attribution_index_checked(self, schema):
+        query = parse_query(schema, "price < 5")
+        with pytest.raises(IndexError):
+            query.is_attributed_to(Event.of(price=1.0), 3)
+
+    def test_equality_and_hash(self, schema):
+        a = parse_query(schema, "price < 5 OR symbol = OTE")
+        b = parse_query(schema, "price < 5 OR symbol = OTE")
+        assert a == b and hash(a) == hash(b)
+        assert a != parse_query(schema, "symbol = OTE OR price < 5")  # ordered
+
+
+class TestParseQuery:
+    def test_and_binds_tighter(self, schema):
+        query = parse_query(schema, "symbol = OTE AND price < 5 OR volume > 100")
+        assert len(query) == 2
+        assert query.branches[0].attribute_names == {"symbol", "price"}
+        assert query.branches[1].attribute_names == {"volume"}
+
+    def test_single_branch(self, schema):
+        query = parse_query(schema, "price < 5")
+        assert len(query) == 1
+
+    def test_lowercase_or(self, schema):
+        assert len(parse_query(schema, "price < 5 or price > 10")) == 2
+
+    def test_empty_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_query(schema, "   ")
+
+
+class TestConsumerQueries:
+    @pytest.fixture
+    def system(self, schema):
+        from repro.broker.system import SummaryPubSub
+        from repro.network import Topology
+
+        return SummaryPubSub(Topology.line(3), schema)
+
+    def test_one_alert_for_multi_branch_match(self, system):
+        from repro.clients import Consumer, Producer
+
+        consumer = Consumer(system, 2)
+        consumer.subscribe_query("price < 5 OR price < 10 OR symbol = OTE")
+        system.run_propagation_period()
+        Producer(system, 0).publish(price=2.0, symbol="OTE")
+        assert len(consumer.drain()) == 1
+
+    def test_each_branch_can_fire_alone(self, system):
+        from repro.clients import Consumer, Producer
+
+        consumer = Consumer(system, 2)
+        consumer.subscribe_query("price < 5 OR symbol = OTE")
+        system.run_propagation_period()
+        producer = Producer(system, 0)
+        producer.publish(price=2.0)
+        producer.publish(symbol="OTE")
+        assert len(consumer.drain()) == 2
+
+    def test_unsubscribe_query_removes_all_branches(self, system):
+        from repro.clients import Consumer, Producer
+
+        consumer = Consumer(system, 2)
+        handle = consumer.subscribe_query("price < 5 OR symbol = OTE")
+        system.run_propagation_period()
+        assert consumer.unsubscribe_query(handle)
+        Producer(system, 0).publish(price=2.0, symbol="OTE")
+        assert consumer.drain() == []
+        assert not consumer.unsubscribe_query(handle)
+
+    def test_plain_and_query_subscriptions_coexist(self, system):
+        from repro.clients import Consumer, Producer
+
+        consumer = Consumer(system, 2)
+        plain = consumer.subscribe("volume > 100")
+        consumer.subscribe_query("price < 5 OR symbol = OTE")
+        system.run_propagation_period()
+        Producer(system, 0).publish(volume=500, price=2.0)
+        received = consumer.drain()
+        assert len(received) == 2  # one plain alert + one query alert
+        assert plain in {sid for sid, _e in received}

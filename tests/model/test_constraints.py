@@ -1,0 +1,150 @@
+"""Constraint semantics — the ground truth everything else is tested against."""
+
+import pytest
+
+from repro.model.constraints import (
+    ARITHMETIC_OPERATORS,
+    STRING_OPERATORS,
+    Constraint,
+    Operator,
+    glob_match,
+)
+from repro.model.types import AttributeType
+
+
+class TestOperatorSymbols:
+    def test_from_symbol_roundtrip(self):
+        for op in Operator:
+            assert Operator.from_symbol(op.symbol) is op
+
+    def test_aliases(self):
+        assert Operator.from_symbol("==") is Operator.EQ
+        assert Operator.from_symbol("<>") is Operator.NE
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Operator.from_symbol("<<")
+
+    def test_operator_families_cover_all(self):
+        assert ARITHMETIC_OPERATORS | STRING_OPERATORS == frozenset(Operator)
+
+    def test_families_share_only_equality(self):
+        assert ARITHMETIC_OPERATORS & STRING_OPERATORS == {Operator.EQ, Operator.NE}
+
+
+class TestConstraintValidation:
+    def test_prefix_invalid_on_numbers(self):
+        with pytest.raises(ValueError):
+            Constraint("price", AttributeType.FLOAT, Operator.PREFIX, 3.0)
+
+    def test_less_than_invalid_on_strings(self):
+        with pytest.raises(ValueError):
+            Constraint("symbol", AttributeType.STRING, Operator.LT, "OTE")
+
+    def test_value_coerced_to_type(self):
+        constraint = Constraint("price", AttributeType.FLOAT, Operator.EQ, 8)
+        assert constraint.value == 8.0
+        assert isinstance(constraint.value, float)
+
+    def test_wrong_value_type_rejected(self):
+        with pytest.raises(TypeError):
+            Constraint("price", AttributeType.FLOAT, Operator.EQ, "cheap")
+
+
+class TestArithmeticMatching:
+    @pytest.mark.parametrize(
+        "operator,bound,value,expected",
+        [
+            (Operator.EQ, 8.4, 8.4, True),
+            (Operator.EQ, 8.4, 8.41, False),
+            (Operator.NE, 8.4, 8.41, True),
+            (Operator.NE, 8.4, 8.4, False),
+            (Operator.LT, 8.7, 8.4, True),
+            (Operator.LT, 8.7, 8.7, False),
+            (Operator.LE, 8.7, 8.7, True),
+            (Operator.GT, 8.3, 8.4, True),
+            (Operator.GT, 8.3, 8.3, False),
+            (Operator.GE, 8.3, 8.3, True),
+        ],
+    )
+    def test_operators(self, operator, bound, value, expected):
+        constraint = Constraint.arithmetic("price", operator, bound)
+        assert constraint.matches(value) is expected
+
+    def test_integer_constraint(self):
+        constraint = Constraint(
+            "volume", AttributeType.INTEGER, Operator.GT, 130_000
+        )
+        assert constraint.matches(132_700)
+        assert not constraint.matches(130_000)
+
+    def test_matching_string_against_arithmetic_raises(self):
+        constraint = Constraint.arithmetic("price", Operator.LT, 9.0)
+        with pytest.raises(TypeError):
+            constraint.matches("8.0")
+
+
+class TestStringMatching:
+    def test_equality(self):
+        constraint = Constraint.string("symbol", Operator.EQ, "OTE")
+        assert constraint.matches("OTE")
+        assert not constraint.matches("OTEGLOBE")
+
+    def test_prefix(self):
+        constraint = Constraint.string("symbol", Operator.PREFIX, "OT")
+        assert constraint.matches("OTE")
+        assert constraint.matches("OT")
+        assert not constraint.matches("NOT")
+
+    def test_suffix(self):
+        constraint = Constraint.string("symbol", Operator.SUFFIX, "TE")
+        assert constraint.matches("OTE")
+        assert not constraint.matches("TEO")
+
+    def test_contains(self):
+        constraint = Constraint.string("symbol", Operator.CONTAINS, "icro")
+        assert constraint.matches("microsoft")
+        assert constraint.matches("micronet")
+        assert not constraint.matches("macro")
+
+    def test_matches_glob(self):
+        constraint = Constraint.string("exchange", Operator.MATCHES, "N*SE")
+        assert constraint.matches("NYSE")
+        assert constraint.matches("NSE")
+        assert not constraint.matches("NYSEX")
+
+    def test_ne(self):
+        constraint = Constraint.string("symbol", Operator.NE, "OTE")
+        assert constraint.matches("IBM")
+        assert not constraint.matches("OTE")
+
+    def test_matching_number_against_string_raises(self):
+        constraint = Constraint.string("symbol", Operator.PREFIX, "OT")
+        with pytest.raises(TypeError):
+            constraint.matches(42)
+
+
+class TestGlobMatch:
+    """The paper's pattern language: '*' wildcards, anchored both ends."""
+
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("m*t", "microsoft", True),
+            ("m*t", "micronet", True),
+            ("m*t", "microsofts", False),
+            ("N*SE", "NYSE", True),
+            ("N*SE", "NSE", True),  # star matches the empty run
+            ("abc", "abc", True),
+            ("abc", "abcd", False),
+            ("*", "", True),
+            ("*", "anything", True),
+            ("a*b*c", "axxbyyc", True),
+            ("a*b*c", "acb", False),  # pieces must appear in order
+            ("a*a", "a", False),  # head and tail cannot overlap
+            ("a*a", "aa", True),
+            ("**", "", True),  # consecutive stars collapse
+        ],
+    )
+    def test_cases(self, pattern, value, expected):
+        assert glob_match(pattern, value) is expected

@@ -1,0 +1,85 @@
+"""Event construction, access and equality."""
+
+import pytest
+
+from repro.model.attributes import AttributeSpec
+from repro.model.events import Event
+from repro.model.types import AttributeType
+
+
+class TestConstruction:
+    def test_of_infers_types(self):
+        event = Event.of(symbol="OTE", price=8.40, volume=132_700)
+        assert event.type_of("symbol") is AttributeType.STRING
+        assert event.type_of("price") is AttributeType.FLOAT
+        assert event.type_of("volume") is AttributeType.INTEGER
+
+    def test_of_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Event.of(flag=True)
+
+    def test_of_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            Event.of(data=[1, 2])
+
+    def test_from_pairs(self):
+        event = Event.from_pairs([("price", AttributeType.FLOAT, 8.4)])
+        assert event.value("price") == 8.4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Event(
+                {
+                    AttributeSpec("price", AttributeType.FLOAT): 1.0,
+                    AttributeSpec("price", AttributeType.INTEGER): 2,
+                }
+            )
+
+    def test_datetime_values_become_timestamps(self):
+        import datetime
+
+        moment = datetime.datetime(2003, 7, 1, tzinfo=datetime.timezone.utc)
+        event = Event.of(when=moment)
+        assert event.value("when") == moment.timestamp()
+        assert event.type_of("when") is AttributeType.DATE
+
+
+class TestAccess:
+    def test_contains(self, paper_event):
+        assert "price" in paper_event
+        assert "dividend" not in paper_event
+
+    def test_len_and_names(self, paper_event):
+        assert len(paper_event) == 7
+        assert set(paper_event.names) == {
+            "exchange", "symbol", "when", "price", "volume", "high", "low",
+        }
+
+    def test_get_default(self, paper_event):
+        assert paper_event.get("dividend") is None
+        assert paper_event.get("dividend", 0.0) == 0.0
+
+    def test_value_keyerror(self, paper_event):
+        with pytest.raises(KeyError):
+            paper_event.value("dividend")
+
+    def test_items_yields_triples(self, paper_event):
+        triples = list(paper_event.items())
+        assert ("price", AttributeType.FLOAT, 8.40) in triples
+
+
+class TestEquality:
+    def test_order_independent(self):
+        a = Event.of(x=1, y="s")
+        b = Event.of(y="s", x=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_value_sensitive(self):
+        assert Event.of(x=1) != Event.of(x=2)
+
+    def test_type_sensitive(self):
+        assert Event.of(x=1) != Event.of(x=1.0)
+
+    def test_usable_in_sets(self):
+        assert len({Event.of(x=1), Event.of(x=1)}) == 1

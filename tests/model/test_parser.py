@@ -1,0 +1,93 @@
+"""The textual constraint/subscription parser."""
+
+import pytest
+
+from repro.model.constraints import Operator
+from repro.model.parser import ParseError, parse_constraint, parse_subscription
+
+
+class TestParseConstraint:
+    def test_arithmetic(self, schema):
+        constraint = parse_constraint(schema, "price < 8.70")
+        assert constraint.operator is Operator.LT
+        assert constraint.value == 8.70
+
+    def test_integer_literal(self, schema):
+        constraint = parse_constraint(schema, "volume > 130000")
+        assert constraint.value == 130_000
+        assert isinstance(constraint.value, int)
+
+    def test_prefix_operator(self, schema):
+        constraint = parse_constraint(schema, "symbol >* OT")
+        assert constraint.operator is Operator.PREFIX
+        assert constraint.value == "OT"
+
+    def test_suffix_operator(self, schema):
+        constraint = parse_constraint(schema, "symbol *< TE")
+        assert constraint.operator is Operator.SUFFIX
+
+    def test_containment_operator(self, schema):
+        constraint = parse_constraint(schema, "symbol * icro")
+        assert constraint.operator is Operator.CONTAINS
+
+    def test_glob_operator(self, schema):
+        constraint = parse_constraint(schema, "exchange ~ N*SE")
+        assert constraint.operator is Operator.MATCHES
+        assert constraint.value == "N*SE"
+
+    def test_ge_beats_gt_tokenization(self, schema):
+        assert parse_constraint(schema, "price >= 8").operator is Operator.GE
+
+    def test_quoted_string_values(self, schema):
+        constraint = parse_constraint(schema, 'symbol = "A B"')
+        assert constraint.value == "A B"
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(ParseError):
+            parse_constraint(schema, "dividend > 1")
+
+    def test_bad_numeric_literal(self, schema):
+        with pytest.raises(ParseError):
+            parse_constraint(schema, "price < cheap")
+
+    def test_bad_integer_literal(self, schema):
+        with pytest.raises(ParseError):
+            parse_constraint(schema, "volume > 1.5")
+
+    def test_garbage(self, schema):
+        with pytest.raises(ParseError):
+            parse_constraint(schema, "price")
+
+    def test_string_operator_on_number_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_constraint(schema, "price >* 8")
+
+
+class TestParseSubscription:
+    def test_and_joined(self, schema):
+        sub = parse_subscription(schema, "price > 8.30 AND price < 8.70")
+        assert len(sub) == 2
+
+    def test_lowercase_and(self, schema):
+        sub = parse_subscription(schema, "price > 8.30 and symbol = OTE")
+        assert sub.attribute_names == {"price", "symbol"}
+
+    def test_semicolon_joined(self, schema):
+        sub = parse_subscription(schema, "price > 1; volume > 5")
+        assert len(sub) == 2
+
+    def test_empty_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_subscription(schema, "   ")
+
+    def test_paper_subscriptions_parse(self, paper_subscriptions, paper_event):
+        s1, s2 = paper_subscriptions
+        assert s1.matches(paper_event)
+        assert not s2.matches(paper_event)
+
+    def test_parsed_matches_hand_built(self, schema):
+        from repro.model.constraints import Constraint
+
+        parsed = parse_subscription(schema, "symbol = OTE")
+        built = Constraint.string("symbol", Operator.EQ, "OTE")
+        assert parsed.constraints == (built,)

@@ -1,0 +1,107 @@
+"""Subscription semantics: conjunction matching, paper examples."""
+
+import pytest
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.events import Event
+from repro.model.subscriptions import Subscription
+from repro.model.types import AttributeType
+
+
+def _price_band():
+    return Subscription(
+        [
+            Constraint.arithmetic("price", Operator.GT, 8.30),
+            Constraint.arithmetic("price", Operator.LT, 8.70),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Subscription([])
+
+    def test_conflicting_types_rejected(self):
+        with pytest.raises(ValueError):
+            Subscription(
+                [
+                    Constraint.arithmetic("x", Operator.GT, 1.0),
+                    Constraint.string("x", Operator.EQ, "one"),
+                ]
+            )
+
+    def test_multiple_constraints_same_attribute_allowed(self):
+        sub = _price_band()
+        assert len(sub) == 2
+        assert sub.attribute_names == {"price"}
+        assert len(sub.constraints_on("price")) == 2
+
+    def test_constraints_on_unknown_attribute(self):
+        assert _price_band().constraints_on("volume") == ()
+
+
+class TestMatching:
+    def test_band_matches_inside(self):
+        assert _price_band().matches(Event.of(price=8.40))
+
+    def test_band_rejects_outside(self):
+        assert not _price_band().matches(Event.of(price=8.80))
+        assert not _price_band().matches(Event.of(price=8.20))
+
+    def test_missing_attribute_rejects(self):
+        assert not _price_band().matches(Event.of(volume=100))
+
+    def test_extra_event_attributes_ignored(self):
+        event = Event.of(price=8.40, volume=100, symbol="OTE")
+        assert _price_band().matches(event)
+
+    def test_paper_example(self, paper_subscriptions, paper_event):
+        """Figure 2's event matches S1 but not S2 (S2 wants price = 8.20)."""
+        s1, s2 = paper_subscriptions
+        assert s1.matches(paper_event)
+        assert not s2.matches(paper_event)
+
+    def test_contradictory_constraints_never_match(self):
+        sub = Subscription(
+            [
+                Constraint.arithmetic("price", Operator.LT, 5.0),
+                Constraint.arithmetic("price", Operator.GT, 10.0),
+            ]
+        )
+        for price in (1.0, 7.0, 20.0):
+            assert not sub.matches(Event.of(price=price))
+
+    def test_mixed_attribute_types(self):
+        sub = Subscription(
+            [
+                Constraint.string("symbol", Operator.PREFIX, "OT"),
+                Constraint("volume", AttributeType.INTEGER, Operator.GT, 1000),
+            ]
+        )
+        assert sub.matches(Event.of(symbol="OTE", volume=2000))
+        assert not sub.matches(Event.of(symbol="IBM", volume=2000))
+        assert not sub.matches(Event.of(symbol="OTE", volume=500))
+
+
+class TestEquality:
+    def test_constraint_order_irrelevant(self):
+        a = Subscription(
+            [
+                Constraint.arithmetic("price", Operator.GT, 8.3),
+                Constraint.string("symbol", Operator.EQ, "OTE"),
+            ]
+        )
+        b = Subscription(
+            [
+                Constraint.string("symbol", Operator.EQ, "OTE"),
+                Constraint.arithmetic("price", Operator.GT, 8.3),
+            ]
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_bounds_differ(self):
+        a = Subscription([Constraint.arithmetic("price", Operator.GT, 8.3)])
+        b = Subscription([Constraint.arithmetic("price", Operator.GT, 8.4)])
+        assert a != b

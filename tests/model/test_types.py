@@ -1,0 +1,84 @@
+"""Attribute type coercion and classification."""
+
+import datetime
+
+import pytest
+
+from repro.model.types import (
+    AttributeType,
+    coerce_value,
+    date_to_timestamp,
+    timestamp_to_date,
+)
+
+
+class TestAttributeType:
+    def test_arithmetic_classification(self):
+        assert AttributeType.INTEGER.is_arithmetic
+        assert AttributeType.FLOAT.is_arithmetic
+        assert AttributeType.DATE.is_arithmetic
+        assert not AttributeType.STRING.is_arithmetic
+
+    def test_string_classification(self):
+        assert AttributeType.STRING.is_string
+        assert not AttributeType.FLOAT.is_string
+
+
+class TestCoercion:
+    def test_string_passthrough(self):
+        assert coerce_value(AttributeType.STRING, "abc") == "abc"
+
+    def test_string_rejects_numbers(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.STRING, 42)
+
+    def test_integer_passthrough(self):
+        assert coerce_value(AttributeType.INTEGER, 7) == 7
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.INTEGER, True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.INTEGER, 3.5)
+
+    def test_float_accepts_int(self):
+        value = coerce_value(AttributeType.FLOAT, 5)
+        assert value == 5.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.FLOAT, "8.40")
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.FLOAT, False)
+
+    def test_date_accepts_datetime(self):
+        moment = datetime.datetime(2003, 7, 1, 12, 5, 25, tzinfo=datetime.timezone.utc)
+        assert coerce_value(AttributeType.DATE, moment) == moment.timestamp()
+
+    def test_date_accepts_timestamp(self):
+        assert coerce_value(AttributeType.DATE, 1_057_061_125) == 1_057_061_125.0
+
+    def test_date_rejects_string(self):
+        with pytest.raises(TypeError):
+            coerce_value(AttributeType.DATE, "Jul 1 2003")
+
+
+class TestDateHelpers:
+    def test_roundtrip(self):
+        moment = datetime.datetime(2003, 7, 1, 12, 5, 25, tzinfo=datetime.timezone.utc)
+        assert timestamp_to_date(date_to_timestamp(moment)) == moment
+
+    def test_naive_datetime_is_utc(self):
+        naive = datetime.datetime(2003, 7, 1, 12, 0, 0)
+        aware = datetime.datetime(2003, 7, 1, 12, 0, 0, tzinfo=datetime.timezone.utc)
+        assert date_to_timestamp(naive) == date_to_timestamp(aware)
+
+    def test_timestamps_order_like_dates(self):
+        early = datetime.datetime(2003, 1, 1, tzinfo=datetime.timezone.utc)
+        late = datetime.datetime(2004, 1, 1, tzinfo=datetime.timezone.utc)
+        assert date_to_timestamp(early) < date_to_timestamp(late)

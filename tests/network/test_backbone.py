@@ -1,0 +1,64 @@
+"""The reconstructed Cable & Wireless backbone and synthetic generators."""
+
+import pytest
+
+from repro.network.backbone import (
+    CW24_CITIES,
+    cable_wireless_24,
+    city_of,
+    scale_free_backbone,
+)
+
+
+class TestCW24:
+    def test_has_24_nodes(self):
+        topo = cable_wireless_24()
+        assert topo.num_brokers == 24
+
+    def test_connected_and_meshy(self):
+        topo = cable_wireless_24()
+        assert not topo.is_tree()
+        assert topo.num_links > topo.num_brokers
+
+    def test_backbone_degree_profile(self):
+        """Few hubs, many degree-2/3 spurs — the profile the degree-driven
+        propagation algorithm is sensitive to."""
+        topo = cable_wireless_24()
+        degrees = sorted(topo.degree(b) for b in topo.brokers)
+        assert degrees[0] >= 2  # no stub cities
+        assert topo.max_degree == 7  # Dallas / Atlanta hubs
+        assert sum(1 for d in degrees if d >= 6) <= 4
+
+    def test_diameter_is_backbone_like(self):
+        topo = cable_wireless_24()
+        assert 2.0 < topo.average_path_length() < 4.0
+
+    def test_city_labels(self):
+        assert len(CW24_CITIES) == 24
+        assert city_of(7) == "Dallas"
+        assert city_of(14) == "Atlanta"
+
+    def test_deterministic(self):
+        a, b = cable_wireless_24(), cable_wireless_24()
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestScaleFree:
+    def test_sizes(self):
+        for n in (10, 24, 50):
+            topo = scale_free_backbone(n, seed=1)
+            assert topo.num_brokers == n
+
+    def test_hub_dominated(self):
+        topo = scale_free_backbone(50, seed=2)
+        degrees = sorted((topo.degree(b) for b in topo.brokers), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_deterministic_under_seed(self):
+        a = scale_free_backbone(30, seed=7)
+        b = scale_free_backbone(30, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            scale_free_backbone(2)

@@ -1,0 +1,155 @@
+"""Fault injection: loss, duplication, and the broker dedup layer."""
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.model import Event, parse_subscription
+from repro.network import Topology, cable_wireless_24
+from repro.network.faults import LossyNetwork
+from repro.wire.messages import EventMessage
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, src, message):
+        self.received.append((src, message))
+
+
+def message():
+    return EventMessage(event=Event.of(price=1.0), brocli=frozenset())
+
+
+class TestLossyNetwork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyNetwork(Topology.line(2), drop_probability=1.0)
+        with pytest.raises(ValueError):
+            LossyNetwork(Topology.line(2), duplicate_probability=-0.1)
+
+    def test_zero_faults_is_plain_network(self):
+        network = LossyNetwork(Topology.line(2), seed=1)
+        receiver = Recorder()
+        network.attach(1, receiver)
+        for _ in range(20):
+            network.send(0, 1, message())
+        network.run()
+        assert len(receiver.received) == 20
+        assert network.dropped == 0 and network.duplicated == 0
+
+    def test_drops_lose_messages_but_charge_bytes(self):
+        from repro.model import IdCodec, stock_schema
+        from repro.wire.codec import ValueWidth, WireCodec
+        from repro.wire.messages import MessageCodec
+
+        codec = MessageCodec(
+            WireCodec(stock_schema(), IdCodec(2, 16, 7), ValueWidth.F32)
+        )
+        network = LossyNetwork(
+            Topology.line(2), codec, drop_probability=0.5, seed=3
+        )
+        receiver = Recorder()
+        network.attach(1, receiver)
+        for _ in range(200):
+            network.send(0, 1, message())
+        network.run()
+        assert 0 < len(receiver.received) < 200
+        assert network.dropped == 200 - len(receiver.received)
+        assert network.metrics.messages == 200  # all transmissions charged
+
+    def test_duplicates_arrive_twice(self):
+        network = LossyNetwork(
+            Topology.line(2), duplicate_probability=1.0, seed=3
+        )
+        receiver = Recorder()
+        network.attach(1, receiver)
+        network.send(0, 1, message())
+        network.run()
+        assert len(receiver.received) == 2
+        assert network.duplicated == 1
+
+    def test_deterministic_under_seed(self):
+        def run_once():
+            network = LossyNetwork(Topology.line(2), drop_probability=0.5, seed=9)
+            receiver = Recorder()
+            network.attach(1, receiver)
+            for _ in range(50):
+                network.send(0, 1, message())
+            network.run()
+            return len(receiver.received)
+
+        assert run_once() == run_once()
+
+
+class TestDuplicateTolerance:
+    def _system(self, duplicate_probability):
+        schema = __import__("repro.model", fromlist=["stock_schema"]).stock_schema()
+        system = SummaryPubSub(
+            cable_wireless_24(),
+            schema,
+            network_cls=LossyNetwork,
+            network_options={
+                "duplicate_probability": duplicate_probability,
+                "seed": 5,
+            },
+        )
+        return system, schema
+
+    def test_duplicates_cause_no_duplicate_deliveries(self):
+        system, schema = self._system(duplicate_probability=1.0)
+        sids = {}
+        for broker in (3, 11, 19):
+            sids[broker] = system.subscribe(
+                broker, parse_subscription(schema, "price > 1")
+            )
+        system.run_propagation_period()
+        for index in range(10):
+            outcome = system.publish(0, Event.of(price=2.0 + index))
+            delivered = [d.sid for d in outcome.deliveries]
+            assert sorted(delivered) == sorted(sids.values())  # exactly once
+        suppressed = sum(
+            broker.duplicates_suppressed for broker in system.brokers.values()
+        )
+        assert suppressed > 0  # the network really did duplicate
+
+    def test_duplicated_propagation_is_harmless(self):
+        """Summary merging is idempotent, so duplicated SummaryMessages
+        leave matching unchanged."""
+        system, schema = self._system(duplicate_probability=1.0)
+        sid = system.subscribe(5, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        outcome = system.publish(0, Event.of(price=9.0))
+        assert {d.sid for d in outcome.deliveries} == {sid}
+
+
+class TestLossDegradation:
+    def test_delivery_ratio_degrades_with_drop_rate(self):
+        """The reliability assumption, quantified: higher drop rates lose
+        more deliveries; zero loss delivers everything."""
+        schema = __import__("repro.model", fromlist=["stock_schema"]).stock_schema()
+
+        def delivery_ratio(drop_probability):
+            system = SummaryPubSub(
+                cable_wireless_24(),
+                schema,
+                network_cls=LossyNetwork,
+                network_options={"drop_probability": drop_probability, "seed": 7},
+            )
+            expected = 0
+            for broker in range(0, 24, 2):
+                system.subscribe(broker, parse_subscription(schema, "price > 1"))
+            system.run_propagation_period()
+            delivered = 0
+            publishes = 30
+            for index in range(publishes):
+                outcome = system.publish(index % 24, Event.of(price=5.0))
+                delivered += len(outcome.deliveries)
+                expected += 12
+            return delivered / expected
+
+        perfect = delivery_ratio(0.0)
+        light = delivery_ratio(0.05)
+        heavy = delivery_ratio(0.3)
+        assert perfect == 1.0
+        assert heavy < light <= perfect

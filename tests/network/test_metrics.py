@@ -1,0 +1,68 @@
+"""Metric accounting semantics (paper section 5 counting rules)."""
+
+import pytest
+
+from repro.network.metrics import NetworkMetrics
+
+
+class TestRecord:
+    def test_single_message(self):
+        metrics = NetworkMetrics()
+        metrics.record(src=0, dst=5, size=100, path_length=3)
+        assert metrics.messages == 1
+        assert metrics.hops == 1  # logical: one per message, paper's rule
+        assert metrics.link_hops == 3
+        assert metrics.bytes_sent == 300  # size x path length
+        assert metrics.payload_bytes == 100
+
+    def test_neighbor_send_costs_plain_size(self):
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, size=50, path_length=1)
+        assert metrics.bytes_sent == 50
+
+    def test_per_broker_tables(self):
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, 10, 1)
+        metrics.record(0, 2, 10, 2)
+        metrics.record(1, 0, 5, 1)
+        assert metrics.per_broker_sent == {0: 2, 1: 1}
+        assert metrics.per_broker_received == {1: 1, 2: 1, 0: 1}
+        assert metrics.per_broker_bytes == {0: 30, 1: 5}
+
+    def test_negative_rejected(self):
+        metrics = NetworkMetrics()
+        with pytest.raises(ValueError):
+            metrics.record(0, 1, -1, 1)
+        with pytest.raises(ValueError):
+            metrics.record(0, 1, 1, -1)
+
+
+class TestLifecycle:
+    def test_reset(self):
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, 10, 1)
+        metrics.reset()
+        assert metrics.snapshot() == {
+            "messages": 0,
+            "hops": 0,
+            "link_hops": 0,
+            "bytes_sent": 0,
+            "payload_bytes": 0,
+        }
+        assert metrics.per_broker_sent == {}
+
+    def test_merge(self):
+        a, b = NetworkMetrics(), NetworkMetrics()
+        a.record(0, 1, 10, 1)
+        b.record(0, 2, 20, 2)
+        a.merge(b)
+        assert a.messages == 2
+        assert a.bytes_sent == 10 + 40
+        assert a.per_broker_sent == {0: 2}
+
+    def test_snapshot_is_plain_dict(self):
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, 10, 1)
+        snap = metrics.snapshot()
+        metrics.record(0, 1, 10, 1)
+        assert snap["messages"] == 1  # snapshot is a copy, not a view

@@ -1,0 +1,130 @@
+"""The synchronous message-passing simulator."""
+
+import pytest
+
+from repro.model import IdCodec, stock_schema
+from repro.network.simulator import Network, NetworkError
+from repro.network.topology import Topology
+from repro.wire.codec import ValueWidth, WireCodec
+from repro.wire.messages import EventMessage, MessageCodec
+
+
+class Recorder:
+    """A handler that records deliveries and optionally relays them."""
+
+    def __init__(self, network=None, relay_to=None, broker_id=None):
+        self.received = []
+        self.network = network
+        self.relay_to = relay_to
+        self.broker_id = broker_id
+
+    def receive(self, src, message):
+        self.received.append((src, message))
+        if self.network is not None and self.relay_to is not None:
+            target = self.relay_to.pop(0) if self.relay_to else None
+            if target is not None:
+                self.network.send(self.broker_id, target, message)
+
+
+def make_event_message(paper_event):
+    return EventMessage(event=paper_event, brocli=frozenset())
+
+
+@pytest.fixture
+def network():
+    return Network(Topology.line(4))
+
+
+class TestWiring:
+    def test_attach_unknown_broker(self, network):
+        with pytest.raises(NetworkError):
+            network.attach(9, Recorder())
+
+    def test_double_attach(self, network):
+        network.attach(0, Recorder())
+        with pytest.raises(NetworkError):
+            network.attach(0, Recorder())
+
+    def test_missing_handler_on_delivery(self, network, paper_event):
+        network.attach(0, Recorder())
+        network.send(0, 3, make_event_message(paper_event))
+        with pytest.raises(NetworkError):
+            network.step()
+
+
+class TestSending:
+    def test_send_to_self_rejected(self, network, paper_event):
+        with pytest.raises(NetworkError):
+            network.send(1, 1, make_event_message(paper_event))
+
+    def test_send_unknown_broker_rejected(self, network, paper_event):
+        with pytest.raises(NetworkError):
+            network.send(0, 9, make_event_message(paper_event))
+
+    def test_delivery_next_step(self, network, paper_event):
+        receiver = Recorder()
+        network.attach(3, receiver)
+        message = make_event_message(paper_event)
+        network.send(0, 3, message)
+        assert receiver.received == []  # not yet delivered
+        assert network.step() == 1
+        assert receiver.received == [(0, message)]
+
+    def test_bytes_charged_with_codec(self, paper_event):
+        schema = stock_schema()
+        codec = MessageCodec(WireCodec(schema, IdCodec(4, 16, 7), ValueWidth.F32))
+        network = Network(Topology.line(4), codec)
+        network.attach(3, Recorder())
+        message = make_event_message(paper_event)
+        network.send(0, 3, message)  # path length 3 on a line
+        assert network.metrics.bytes_sent == codec.size(message) * 3
+        assert network.metrics.hops == 1
+
+    def test_no_codec_charges_zero_bytes(self, network, paper_event):
+        network.attach(1, Recorder())
+        network.send(0, 1, make_event_message(paper_event))
+        assert network.metrics.bytes_sent == 0
+        assert network.metrics.messages == 1
+
+
+class TestRounds:
+    def test_deterministic_delivery_order(self, paper_event):
+        network = Network(Topology.star(4))
+        log = []
+
+        class Ordered:
+            def __init__(self, broker_id):
+                self.broker_id = broker_id
+
+            def receive(self, src, message):
+                log.append((self.broker_id, src))
+
+        for broker in range(4):
+            network.attach(broker, Ordered(broker))
+        message = make_event_message(paper_event)
+        network.send(3, 1, message)
+        network.send(2, 1, message)
+        network.send(1, 2, message)
+        network.step()
+        # Sorted by (dst, send sequence).
+        assert log == [(1, 3), (1, 2), (2, 1)]
+
+    def test_run_until_quiet(self, paper_event):
+        network = Network(Topology.line(4))
+        # Relay chain 0 -> 1 -> 2 -> 3.
+        for broker in range(4):
+            relay = [broker + 1] if broker < 3 else []
+            network.attach(broker, Recorder(network, relay, broker))
+        network.send(0, 1, make_event_message(paper_event))
+        rounds = network.run()
+        assert rounds == 3
+        assert not network.has_pending
+
+    def test_run_detects_livelock(self, paper_event):
+        network = Network(Topology.line(2))
+        # Two brokers relaying to each other forever.
+        network.attach(0, Recorder(network, [1] * 10_000, 0))
+        network.attach(1, Recorder(network, [0] * 10_000, 1))
+        network.send(0, 1, make_event_message(paper_event))
+        with pytest.raises(NetworkError):
+            network.run(max_rounds=50)

@@ -1,0 +1,129 @@
+"""Overlay topology invariants and factories."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import Topology, paper_example_tree
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(nx.Graph())
+
+    def test_non_contiguous_ids_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 2)
+        with pytest.raises(ValueError):
+            Topology(graph)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ValueError):
+            Topology(graph)
+
+    def test_self_loop_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        graph.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            Topology(graph)
+
+    def test_single_broker_allowed(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        topo = Topology(graph)
+        assert topo.num_brokers == 1
+
+
+class TestBasics:
+    def test_line(self):
+        topo = Topology.line(5)
+        assert topo.num_brokers == 5
+        assert topo.num_links == 4
+        assert topo.is_tree()
+        assert topo.max_degree == 2
+        assert topo.degree(0) == 1
+
+    def test_star(self):
+        topo = Topology.star(6)
+        assert topo.degree(0) == 5
+        assert topo.brokers_by_degree(1) == [1, 2, 3, 4, 5]
+
+    def test_neighbors_sorted(self):
+        topo = Topology.from_edges([(0, 2), (0, 1), (0, 3)])
+        assert topo.neighbors(0) == [1, 2, 3]
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            topo = Topology.random_tree(12, seed=seed)
+            assert topo.num_brokers == 12
+            assert topo.is_tree()
+
+    def test_random_connected_adds_chords(self):
+        topo = Topology.random_connected(10, extra_links=3, seed=1)
+        assert topo.num_links == 9 + 3
+        assert not topo.is_tree()
+
+    def test_balanced_tree(self):
+        topo = Topology.balanced_tree(2, 3)
+        assert topo.num_brokers == 15
+        assert topo.is_tree()
+
+
+class TestPaths:
+    def test_path_length(self):
+        topo = Topology.line(4)
+        assert topo.path_length(0, 3) == 3
+        assert topo.path_length(2, 2) == 0
+
+    def test_average_path_length_line(self):
+        topo = Topology.line(3)
+        # pairs: (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3
+        assert topo.average_path_length() == pytest.approx(4 / 3)
+
+    def test_average_path_length_single(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert Topology(graph).average_path_length() == 0.0
+
+    def test_bfs_tree_structure(self):
+        topo = Topology.line(4)
+        children = topo.bfs_tree(0)
+        assert children[0] == [1]
+        assert children[1] == [2]
+        assert children[3] == []
+
+    def test_bfs_parents(self):
+        topo = Topology.star(5)
+        parents = topo.bfs_parents(0)
+        assert parents == {1: 0, 2: 0, 3: 0, 4: 0}
+
+    def test_bfs_tree_covers_all(self):
+        topo = Topology.random_connected(15, extra_links=5, seed=3)
+        children = topo.bfs_tree(0)
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for child in children[node]:
+                reached.add(child)
+                frontier.append(child)
+        assert reached == set(topo.brokers)
+
+
+class TestPaperTree:
+    def test_figure7_shape(self):
+        topo = paper_example_tree()
+        assert topo.num_brokers == 13
+        assert topo.is_tree()
+        # Paper broker 5 (node 4) has the maximum degree, 5.
+        assert topo.max_degree == 5
+        assert topo.degree(4) == 5
+        # Paper brokers 8 and 11 (nodes 7, 10) have degree 3.
+        assert topo.degree(7) == 3
+        assert topo.degree(10) == 3
+        # Leaves: paper brokers 1, 3, 4, 6, 9, 12, 13.
+        assert topo.brokers_by_degree(1) == [0, 2, 3, 5, 8, 11, 12]

@@ -1,0 +1,95 @@
+"""Subscription covering (subsumption) — unit and property tests."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.model import Constraint, Operator, parse_subscription
+from repro.siena.covering import constraint_covers, subscription_covers
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestConstraintCovers:
+    def test_wider_range_covers_narrower(self):
+        wide = Constraint.arithmetic("p", Operator.LT, 10.0)
+        narrow = Constraint.arithmetic("p", Operator.LT, 5.0)
+        assert constraint_covers(wide, narrow)
+        assert not constraint_covers(narrow, wide)
+
+    def test_equality_covered_by_range(self):
+        point = Constraint.arithmetic("p", Operator.EQ, 3.0)
+        ray = Constraint.arithmetic("p", Operator.GT, 1.0)
+        assert constraint_covers(ray, point)
+        assert not constraint_covers(point, ray)
+
+    def test_identical_equalities(self):
+        a = Constraint.arithmetic("p", Operator.EQ, 3.0)
+        assert constraint_covers(a, a)
+
+    def test_ne_covers_everything_but_value(self):
+        ne = Constraint.arithmetic("p", Operator.NE, 3.0)
+        below = Constraint.arithmetic("p", Operator.LT, 3.0)
+        assert constraint_covers(ne, below)
+        spanning = Constraint.arithmetic("p", Operator.GT, 0.0)
+        assert not constraint_covers(ne, spanning)  # 3.0 satisfies GT 0
+
+    def test_prefix_covers_equality(self):
+        prefix = Constraint.string("s", Operator.PREFIX, "OT")
+        equal = Constraint.string("s", Operator.EQ, "OTE")
+        assert constraint_covers(prefix, equal)
+        assert not constraint_covers(equal, prefix)
+
+    def test_mixed_families_rejected(self):
+        arith = Constraint.arithmetic("p", Operator.EQ, 3.0)
+        string = Constraint.string("s", Operator.EQ, "x")
+        with pytest.raises(ValueError):
+            constraint_covers(arith, string)
+
+
+class TestSubscriptionCovers:
+    def test_fewer_attributes_cover_more(self, schema):
+        general = parse_subscription(schema, "price < 10")
+        specific = parse_subscription(schema, "price < 5 AND symbol = OTE")
+        assert subscription_covers(general, specific)
+        assert not subscription_covers(specific, general)
+
+    def test_extra_attribute_in_general_blocks(self, schema):
+        general = parse_subscription(schema, "price < 10 AND volume > 0")
+        specific = parse_subscription(schema, "price < 5")
+        assert not subscription_covers(general, specific)
+
+    def test_band_containment(self, schema):
+        outer = parse_subscription(schema, "price > 1 AND price < 10")
+        inner = parse_subscription(schema, "price > 2 AND price < 9")
+        assert subscription_covers(outer, inner)
+        assert not subscription_covers(inner, outer)
+
+    def test_string_conjunctions(self, schema):
+        general = parse_subscription(schema, "symbol >* OT")
+        specific = parse_subscription(schema, "symbol >* OTE AND symbol *< E")
+        assert subscription_covers(general, specific)
+
+    def test_reflexive(self, schema, paper_subscriptions):
+        for subscription in paper_subscriptions:
+            assert subscription_covers(subscription, subscription)
+
+    def test_paper_subscriptions_incomparable(self, paper_subscriptions):
+        s1, s2 = paper_subscriptions
+        assert not subscription_covers(s1, s2)
+        assert not subscription_covers(s2, s1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_covering_soundness_on_workload(seed):
+    """If A covers B then every event matching B matches A — checked on
+    generated subscription pairs and probe events."""
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=0.8), seed=seed)
+    subs = generator.subscriptions(6)
+    events = generator.events(15)
+    for a in subs:
+        for b in subs:
+            if subscription_covers(a, b):
+                for event in events:
+                    if b.matches(event):
+                        assert a.matches(event)

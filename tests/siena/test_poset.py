@@ -1,0 +1,80 @@
+"""CoveringSet — the covering-minimized routing-table building block."""
+
+from repro.model import Event, parse_subscription
+from repro.siena.poset import CoveringSet
+
+
+def test_add_plain(schema):
+    covering = CoveringSet()
+    assert covering.add(parse_subscription(schema, "price < 5"))
+    assert len(covering) == 1
+
+
+def test_covered_insert_is_noop(schema):
+    covering = CoveringSet()
+    covering.add(parse_subscription(schema, "price < 10"))
+    assert not covering.add(parse_subscription(schema, "price < 5"))
+    assert len(covering) == 1
+
+
+def test_general_insert_evicts_covered(schema):
+    covering = CoveringSet()
+    covering.add(parse_subscription(schema, "price < 5"))
+    covering.add(parse_subscription(schema, "price < 3 AND symbol = OTE"))
+    assert covering.add(parse_subscription(schema, "price < 10"))
+    assert len(covering) == 1
+    members = covering.members
+    assert members[0].attribute_names == {"price"}
+
+
+def test_incomparable_members_coexist(schema, paper_subscriptions):
+    covering = CoveringSet()
+    for subscription in paper_subscriptions:
+        assert covering.add(subscription)
+    assert len(covering) == 2
+
+
+def test_covers_query(schema):
+    covering = CoveringSet()
+    covering.add(parse_subscription(schema, "price < 10"))
+    assert covering.covers(parse_subscription(schema, "price < 5"))
+    assert not covering.covers(parse_subscription(schema, "price < 20"))
+    assert not covering.covers(parse_subscription(schema, "volume > 5"))
+
+
+def test_matches_event(schema):
+    covering = CoveringSet()
+    covering.add(parse_subscription(schema, "price < 10"))
+    assert covering.matches_event(Event.of(price=5.0))
+    assert not covering.matches_event(Event.of(price=15.0))
+    assert not covering.matches_event(Event.of(volume=5))
+
+
+def test_no_member_covers_another_invariant(schema):
+    """After arbitrary adds, members are pairwise incomparable."""
+    from repro.siena.covering import subscription_covers
+
+    covering = CoveringSet()
+    texts = [
+        "price < 5",
+        "price < 10",
+        "price < 10 AND symbol = OTE",
+        "symbol >* OT",
+        "symbol = OTE",
+        "price > 1 AND price < 4",
+        "volume > 100",
+    ]
+    for text in texts:
+        covering.add(parse_subscription(schema, text))
+    members = covering.members
+    for a in members:
+        for b in members:
+            if a is not b:
+                assert not subscription_covers(a, b)
+
+
+def test_iteration_yields_all_members(schema):
+    covering = CoveringSet()
+    covering.add(parse_subscription(schema, "price < 10"))
+    covering.add(parse_subscription(schema, "volume > 5"))
+    assert len(list(covering)) == 2

@@ -1,0 +1,111 @@
+"""The paper's probabilistic Siena model (section 5.2 methodology)."""
+
+import pytest
+
+from repro.network import Topology, cable_wireless_24, paper_example_tree
+from repro.siena.probmodel import SienaProbModel
+
+
+class TestBrokerProbability:
+    def test_scales_with_degree(self):
+        topology = paper_example_tree()
+        model = SienaProbModel(topology, max_subsumption=0.9)
+        # Max-degree broker gets the full probability.
+        assert model.broker_probability(4) == pytest.approx(0.9)
+        # A leaf gets degree/max_degree of it.
+        assert model.broker_probability(0) == pytest.approx(0.9 / 5)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SienaProbModel(paper_example_tree(), max_subsumption=1.5)
+
+
+class TestPropagation:
+    def test_zero_subsumption_reaches_everyone(self):
+        topology = cable_wireless_24()
+        model = SienaProbModel(topology, max_subsumption=0.0)
+        sample = model.propagate_one(origin=0)
+        assert sample.reached == set(topology.brokers)
+        assert sample.hops == topology.num_brokers - 1
+
+    def test_paper_worst_case_24x23(self):
+        """'In the worst case in Siena (subsumption percentage = 0%) ...
+        a total of 24 times 23 hops.'"""
+        topology = cable_wireless_24()
+        model = SienaProbModel(topology, max_subsumption=0.0)
+        assert model.mean_propagation_hops(trials=2) == 24 * 23
+
+    def test_subsumption_monotonically_prunes(self):
+        topology = cable_wireless_24()
+        hops = [
+            SienaProbModel(topology, q, seed=7).mean_propagation_hops(trials=30)
+            for q in (0.1, 0.5, 0.9)
+        ]
+        assert hops[0] > hops[1] > hops[2]
+
+    def test_origin_always_sends(self):
+        """Even at max subsumption the origin forwards to its tree children."""
+        topology = paper_example_tree()
+        model = SienaProbModel(topology, max_subsumption=1.0, seed=1)
+        sample = model.propagate_one(origin=4)  # the hub, degree 5
+        assert sample.hops >= 5
+
+    def test_reached_is_closed_under_forwards(self):
+        model = SienaProbModel(cable_wireless_24(), 0.5, seed=3)
+        sample = model.propagate_one(origin=5)
+        for src, dst in sample.forwards:
+            assert src in sample.reached
+            assert dst in sample.reached
+
+    def test_bandwidth_scales_with_sigma_and_size(self):
+        model = SienaProbModel(paper_example_tree(), 0.0)
+        small = model.propagation_bandwidth(sigma=1, subscription_size=50, trials=1)
+        big = model.propagation_bandwidth(sigma=10, subscription_size=50, trials=1)
+        assert big == pytest.approx(10 * small)
+        double = model.propagation_bandwidth(sigma=1, subscription_size=100, trials=1)
+        assert double == pytest.approx(2 * small)
+
+    def test_storage_at_zero_subsumption_is_full_replication(self):
+        topology = paper_example_tree()
+        model = SienaProbModel(topology, 0.0)
+        stored = model.storage_bytes(outstanding=2, subscription_size=50, trials=1)
+        n = topology.num_brokers
+        assert stored == n * n * 2 * 50
+
+
+class TestEventRouting:
+    def test_single_target_costs_path_length(self):
+        topology = Topology.line(5)
+        model = SienaProbModel(topology, 0.0)
+        assert model.event_routing_hops(0, [4]) == 4
+        assert model.event_routing_hops(0, [1]) == 1
+
+    def test_shared_prefix_counted_once(self):
+        topology = Topology.line(5)
+        model = SienaProbModel(topology, 0.0)
+        # Paths 0->3 and 0->4 share edges 0-1-2-3.
+        assert model.event_routing_hops(0, [3, 4]) == 4
+
+    def test_full_popularity_covers_tree(self):
+        topology = cable_wireless_24()
+        model = SienaProbModel(topology, 0.0)
+        hops = model.event_routing_hops(0, list(topology.brokers))
+        assert hops == topology.num_brokers - 1  # spanning tree edges
+
+    def test_publisher_in_matched_set_is_free(self):
+        model = SienaProbModel(Topology.line(3), 0.0)
+        assert model.event_routing_hops(0, [0]) == 0
+
+    def test_mean_event_hops_monotone_in_popularity(self):
+        topology = cable_wireless_24()
+        model = SienaProbModel(topology, 0.0)
+        means = [
+            model.mean_event_hops(events_per_broker=5, popularity=p, seed=1)
+            for p in (0.1, 0.5, 0.9)
+        ]
+        assert means[0] < means[1] < means[2]
+
+    def test_invalid_popularity(self):
+        model = SienaProbModel(Topology.line(3), 0.0)
+        with pytest.raises(ValueError):
+            model.mean_event_hops(1, popularity=0.0)

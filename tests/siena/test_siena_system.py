@@ -1,0 +1,110 @@
+"""The functional covering-based Siena comparator."""
+
+import random
+
+import pytest
+
+from repro.model import Event, parse_subscription
+from repro.network import Topology, cable_wireless_24
+from repro.siena.system import SienaPubSub
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestRoutingTreeSelection:
+    def test_tree_topology_used_directly(self, figure7_tree):
+        system = SienaPubSub(figure7_tree, WorkloadGenerator(WorkloadConfig()).schema)
+        assert system.topology is figure7_tree
+
+    def test_cyclic_topology_replaced_by_spanning_tree(self):
+        topology = cable_wireless_24()
+        system = SienaPubSub(topology, WorkloadGenerator(WorkloadConfig()).schema)
+        assert system.topology.is_tree()
+        assert system.topology.num_brokers == topology.num_brokers
+
+
+class TestDeliveryCorrectness:
+    def test_matches_oracle_on_workload(self):
+        config = WorkloadConfig(sigma=6, subsumption=0.5)
+        generator = WorkloadGenerator(config, seed=21)
+        system = SienaPubSub(cable_wireless_24(), generator.schema)
+        for broker_id in system.topology.brokers:
+            for subscription in generator.subscriptions(config.sigma):
+                system.subscribe(broker_id, subscription)
+        system.run_propagation_period()
+        rng = random.Random(4)
+        for event in generator.events(20):
+            publisher = rng.randrange(system.topology.num_brokers)
+            outcome = system.publish(publisher, event)
+            got = {(d.broker, d.sid) for d in outcome.deliveries}
+            assert got == system.ground_truth_matches(event)
+
+    def test_multi_period_correct(self, schema):
+        system = SienaPubSub(Topology.line(4), schema)
+        a = system.subscribe(3, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        b = system.subscribe(0, parse_subscription(schema, "price > 2"))
+        system.run_propagation_period()
+        outcome = system.publish(1, Event.of(price=5.0))
+        assert {d.sid for d in outcome.deliveries} == {a, b}
+
+    def test_local_only_delivery_without_propagation(self, schema):
+        """Events reach local subscribers even before any flush."""
+        system = SienaPubSub(Topology.line(3), schema)
+        sid = system.subscribe(0, parse_subscription(schema, "price > 1"))
+        outcome = system.publish(0, Event.of(price=5.0))
+        assert {d.sid for d in outcome.deliveries} == {sid}
+
+
+class TestCoveringPruning:
+    def test_covered_subscriptions_not_forwarded(self, schema):
+        """A broker holding 'price < 10' must not forward 'price < 5'."""
+        system = SienaPubSub(Topology.line(4), schema)
+        system.subscribe(0, parse_subscription(schema, "price < 10"))
+        system.run_propagation_period()
+        bytes_before = system.propagation_metrics.bytes_sent
+        system.subscribe(0, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        assert system.propagation_metrics.bytes_sent == bytes_before
+
+    def test_pruning_preserves_delivery(self, schema):
+        system = SienaPubSub(Topology.line(4), schema)
+        general = system.subscribe(0, parse_subscription(schema, "price < 10"))
+        system.run_propagation_period()
+        covered = system.subscribe(0, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        outcome = system.publish(3, Event.of(price=2.0))
+        assert {d.sid for d in outcome.deliveries} == {general, covered}
+
+    def test_pruning_reduces_bandwidth_on_covering_workload(self):
+        """High-subsumption workloads must cost less to propagate."""
+        def propagate(subsumption, seed=31):
+            config = WorkloadConfig(sigma=10, subsumption=subsumption)
+            generator = WorkloadGenerator(config, seed=seed)
+            system = SienaPubSub(Topology.random_tree(8, seed=1), generator.schema)
+            for broker_id in system.topology.brokers:
+                for subscription in generator.subscriptions(config.sigma):
+                    system.subscribe(broker_id, subscription)
+            system.run_propagation_period()
+            return system.propagation_metrics.bytes_sent
+
+        assert propagate(0.9) < propagate(0.1)
+
+
+class TestEventRouting:
+    def test_events_follow_reverse_paths_only(self, schema):
+        """An event must not reach branches with no matching subscription."""
+        system = SienaPubSub(Topology.star(5), schema)
+        system.subscribe(1, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        system.event_metrics.reset()
+        system.publish(2, Event.of(price=5.0))
+        # Star: event goes 2 -> 0 (hub) -> 1; never to brokers 3, 4.
+        received = system.event_metrics.per_broker_received
+        assert received.get(3, 0) == 0 and received.get(4, 0) == 0
+
+    def test_storage_accounting(self, schema):
+        system = SienaPubSub(Topology.line(3), schema)
+        assert system.total_table_storage() == 0
+        system.subscribe(0, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        assert system.total_table_storage() > 0

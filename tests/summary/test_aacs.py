@@ -1,0 +1,178 @@
+"""AACS structure tests (paper section 3.1, figure 4)."""
+
+import math
+
+import pytest
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.ids import SubscriptionId
+from repro.summary.aacs import AACS
+from repro.summary.intervals import Interval, IntervalSet, intervals_for_conjunction
+from repro.summary.precision import Precision
+
+
+def sid(n: int, mask: int = 0b1) -> SubscriptionId:
+    return SubscriptionId(broker=0, local_id=n, attr_mask=mask)
+
+
+def band(lo: float, hi: float) -> IntervalSet:
+    return intervals_for_conjunction(
+        [
+            Constraint.arithmetic("p", Operator.GT, lo),
+            Constraint.arithmetic("p", Operator.LT, hi),
+        ]
+    )
+
+
+def point(v: float) -> IntervalSet:
+    return intervals_for_conjunction([Constraint.arithmetic("p", Operator.EQ, v)])
+
+
+class TestPaperFigure4:
+    def test_structure(self):
+        """Range (8.30, 8.70) -> S1; equality 8.20 -> S2."""
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(8.30, 8.70), sid(1))
+        aacs.insert(point(8.20), sid(2))
+        assert aacs.n_sr == 1
+        assert aacs.n_e == 1
+        assert aacs.match(8.40) == {sid(1)}
+        assert aacs.match(8.20) == {sid(2)}
+        assert aacs.match(9.0) == set()
+
+
+class TestCoarseMode:
+    def test_overlapping_ranges_merge(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 3.0), sid(1))
+        aacs.insert(band(2.0, 5.0), sid(2))
+        assert aacs.n_sr == 1
+        # False positive by design: sid(1) reported at 4.0.
+        assert aacs.match(4.0) == {sid(1), sid(2)}
+
+    def test_disjoint_ranges_stay_separate(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 2.0), sid(1))
+        aacs.insert(band(5.0, 6.0), sid(2))
+        assert aacs.n_sr == 2
+        assert aacs.match(1.5) == {sid(1)}
+        assert aacs.match(5.5) == {sid(2)}
+
+    def test_point_inside_range_joins_row(self):
+        """Paper: AACS_E only holds values outside existing sub-ranges."""
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 5.0), sid(1))
+        aacs.insert(point(3.0), sid(2))
+        assert aacs.n_e == 0
+        assert sid(2) in aacs.match(2.0)  # coarse over-match, re-checked at home
+
+    def test_range_swallows_existing_points(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(point(3.0), sid(1))
+        aacs.insert(band(1.0, 5.0), sid(2))
+        assert aacs.n_e == 0
+        assert aacs.n_sr == 1
+        assert aacs.match(3.0) == {sid(1), sid(2)}
+
+    def test_unbounded_ray(self):
+        aacs = AACS(Precision.COARSE)
+        values = intervals_for_conjunction(
+            [Constraint.arithmetic("v", Operator.GT, 130_000)]
+        )
+        aacs.insert(values, sid(1))
+        assert aacs.match(132_700.0) == {sid(1)}
+        assert aacs.match(130_000.0) == set()
+        assert aacs.match(1e308) == {sid(1)}
+
+
+class TestExactMode:
+    def test_no_false_positives_on_overlap(self):
+        aacs = AACS(Precision.EXACT)
+        aacs.insert(band(1.0, 3.0), sid(1))
+        aacs.insert(band(2.0, 5.0), sid(2))
+        assert aacs.match(1.5) == {sid(1)}
+        assert aacs.match(2.5) == {sid(1), sid(2)}
+        assert aacs.match(4.0) == {sid(2)}
+
+    def test_rows_partition(self):
+        aacs = AACS(Precision.EXACT)
+        aacs.insert(band(1.0, 3.0), sid(1))
+        aacs.insert(band(2.0, 5.0), sid(2))
+        rows = aacs.range_rows()
+        assert len(rows) == 3
+        for left, right in zip(rows, rows[1:]):
+            assert not left.interval.overlaps(right.interval)
+
+    def test_point_inside_range_stays_exact(self):
+        aacs = AACS(Precision.EXACT)
+        aacs.insert(band(1.0, 5.0), sid(1))
+        aacs.insert(point(3.0), sid(2))
+        assert aacs.match(3.0) == {sid(1), sid(2)}
+        assert aacs.match(2.0) == {sid(1)}
+
+    def test_ne_is_exact(self):
+        aacs = AACS(Precision.EXACT)
+        values = intervals_for_conjunction(
+            [Constraint.arithmetic("p", Operator.NE, 5.0)]
+        )
+        aacs.insert(values, sid(1))
+        assert aacs.match(4.0) == {sid(1)}
+        assert aacs.match(5.0) == set()
+
+
+class TestMaintenance:
+    def test_remove_drops_empty_rows(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 2.0), sid(1))
+        aacs.insert(point(9.0), sid(2))
+        assert aacs.remove(sid(1))
+        assert aacs.n_sr == 0
+        assert aacs.remove(sid(2))
+        assert aacs.is_empty
+
+    def test_remove_missing_returns_false(self):
+        aacs = AACS(Precision.COARSE)
+        assert not aacs.remove(sid(7))
+
+    def test_remove_keeps_shared_rows(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 3.0), sid(1))
+        aacs.insert(band(2.0, 4.0), sid(2))
+        aacs.remove(sid(1))
+        assert aacs.match(2.5) == {sid(2)}
+
+    def test_merge_unions_structures(self):
+        a = AACS(Precision.COARSE)
+        a.insert(band(1.0, 2.0), sid(1))
+        b = AACS(Precision.COARSE)
+        b.insert(point(9.0), sid(2))
+        a.merge(b)
+        assert a.match(1.5) == {sid(1)}
+        assert a.match(9.0) == {sid(2)}
+
+    def test_merge_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AACS(Precision.COARSE).merge(AACS(Precision.EXACT))
+
+    def test_copy_is_independent(self):
+        a = AACS(Precision.COARSE)
+        a.insert(band(1.0, 2.0), sid(1))
+        clone = a.copy()
+        clone.insert(point(9.0), sid(2))
+        assert a.n_e == 0
+        assert clone.n_e == 1
+
+
+class TestAccounting:
+    def test_id_list_entries(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(band(1.0, 3.0), sid(1))
+        aacs.insert(band(2.0, 4.0), sid(2))  # merges into one row, two ids
+        aacs.insert(point(9.0), sid(3))
+        assert aacs.id_list_entries() == 3
+        assert aacs.all_ids() == {sid(1), sid(2), sid(3)}
+
+    def test_empty_interval_set_inserts_nothing(self):
+        aacs = AACS(Precision.COARSE)
+        aacs.insert(IntervalSet(), sid(1))
+        assert aacs.is_empty

@@ -1,0 +1,114 @@
+"""Property tests for AACS (hypothesis).
+
+Contracts under arbitrary insertion sequences:
+
+* EXACT mode reports exactly the ids whose constraint-conjunction admits
+  the probed value;
+* COARSE mode reports a superset of those ids (never misses — the paper's
+  architecture can filter false positives but cannot recover a miss);
+* structural invariants: range rows stay sorted and non-overlapping, and
+  in COARSE mode no equality value sits inside a range row.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.ids import SubscriptionId
+from repro.summary.aacs import AACS
+from repro.summary.intervals import intervals_for_conjunction
+from repro.summary.precision import Precision
+
+_VALUES = st.floats(min_value=-100, max_value=100, allow_nan=False)
+_OPS = st.sampled_from(
+    [Operator.EQ, Operator.NE, Operator.LT, Operator.LE, Operator.GT, Operator.GE]
+)
+
+# One subscription's constraints on a single arithmetic attribute.
+_CONJUNCTION = st.lists(st.tuples(_OPS, _VALUES), min_size=1, max_size=3)
+_WORKLOAD = st.lists(_CONJUNCTION, min_size=1, max_size=10)
+
+
+def _build(workload, precision):
+    aacs = AACS(precision)
+    ground_truth = []
+    for index, pairs in enumerate(workload):
+        constraints = [Constraint.arithmetic("p", op, value) for op, value in pairs]
+        subscription_id = SubscriptionId(broker=0, local_id=index, attr_mask=1)
+        aacs.insert(intervals_for_conjunction(constraints), subscription_id)
+        ground_truth.append((subscription_id, constraints))
+    return aacs, ground_truth
+
+
+def _expected(ground_truth, probe):
+    return {
+        subscription_id
+        for subscription_id, constraints in ground_truth
+        if all(constraint.matches(probe) for constraint in constraints)
+    }
+
+
+@settings(max_examples=200)
+@given(_WORKLOAD, _VALUES)
+def test_exact_mode_is_exact(workload, probe):
+    aacs, ground_truth = _build(workload, Precision.EXACT)
+    assert aacs.match(probe) == _expected(ground_truth, probe)
+
+
+@settings(max_examples=200)
+@given(_WORKLOAD, _VALUES)
+def test_coarse_mode_never_misses(workload, probe):
+    aacs, ground_truth = _build(workload, Precision.COARSE)
+    assert aacs.match(probe) >= _expected(ground_truth, probe)
+
+
+@given(_WORKLOAD, st.sampled_from([Precision.COARSE, Precision.EXACT]))
+def test_range_rows_sorted_and_disjoint(workload, precision):
+    aacs, _ = _build(workload, precision)
+    rows = aacs.range_rows()
+    for left, right in zip(rows, rows[1:]):
+        assert (left.interval.lo, left.interval.lo_open) <= (
+            right.interval.lo,
+            right.interval.lo_open,
+        )
+        assert not left.interval.overlaps(right.interval)
+
+
+@given(_WORKLOAD)
+def test_coarse_equalities_outside_ranges(workload):
+    """The paper's AACS_E invariant: equality values lie outside sub-ranges."""
+    aacs, _ = _build(workload, Precision.COARSE)
+    for value, _ids in aacs.equality_rows():
+        for row in aacs.range_rows():
+            assert not row.interval.contains(value)
+
+
+@given(_WORKLOAD)
+def test_all_inserted_ids_present_until_removed(workload):
+    aacs, ground_truth = _build(workload, Precision.COARSE)
+    live = {
+        subscription_id
+        for subscription_id, constraints in ground_truth
+        if not intervals_for_conjunction(constraints).is_empty
+    }
+    assert aacs.all_ids() == live
+    for subscription_id in sorted(live):
+        aacs.remove(subscription_id)
+    assert aacs.is_empty
+
+
+@settings(max_examples=100)
+@given(_WORKLOAD, _WORKLOAD, _VALUES)
+def test_merge_is_union_of_matches(first, second, probe):
+    a, _ = _build(first, Precision.COARSE)
+    b_offset = []
+    b = AACS(Precision.COARSE)
+    for index, pairs in enumerate(second):
+        constraints = [Constraint.arithmetic("p", op, value) for op, value in pairs]
+        subscription_id = SubscriptionId(broker=1, local_id=index, attr_mask=1)
+        b.insert(intervals_for_conjunction(constraints), subscription_id)
+        b_offset.append((subscription_id, constraints))
+    before_a = a.match(probe)
+    before_b = b.match(probe)
+    a.merge(b)
+    # Merging may widen rows further (more false positives) but never drop.
+    assert a.match(probe) >= before_a | before_b

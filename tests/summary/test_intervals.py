@@ -1,0 +1,222 @@
+"""Interval algebra unit tests."""
+
+import math
+
+import pytest
+
+from repro.model.constraints import Constraint, Operator
+from repro.summary.intervals import (
+    FULL_LINE,
+    Interval,
+    IntervalSet,
+    interval_for_constraint,
+    intervals_for_conjunction,
+)
+
+
+class TestIntervalConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_open_point_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 1.0, lo_open=True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_infinite_bounds_forced_open(self):
+        ray = Interval(-math.inf, 5.0)
+        assert ray.lo_open
+
+    def test_wrong_way_infinities_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.inf, math.inf)
+
+
+class TestContains:
+    def test_closed_bounds(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0) and iv.contains(2.0) and iv.contains(1.5)
+
+    def test_open_bounds(self):
+        iv = Interval(1.0, 2.0, lo_open=True, hi_open=True)
+        assert not iv.contains(1.0) and not iv.contains(2.0)
+        assert iv.contains(1.5)
+
+    def test_point(self):
+        point = Interval.point(3.0)
+        assert point.is_point
+        assert point.contains(3.0)
+        assert not point.contains(3.0001)
+
+    def test_full_line(self):
+        assert FULL_LINE.contains(-1e308) and FULL_LINE.contains(1e308)
+
+
+class TestContainsInterval:
+    def test_strict_containment(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+
+    def test_equal_intervals(self):
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+
+    def test_openness_matters_at_shared_bound(self):
+        closed = Interval(0, 10)
+        open_ = Interval(0, 10, lo_open=True)
+        assert closed.contains_interval(open_)
+        assert not open_.contains_interval(closed)
+
+
+class TestOverlapAndTouch:
+    def test_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+        assert not Interval(0, 1).touches(Interval(2, 3))
+
+    def test_shared_closed_endpoint_overlaps(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_shared_open_endpoint_no_overlap(self):
+        a = Interval(0, 1, hi_open=True)
+        b = Interval(1, 2)
+        assert not a.overlaps(b)
+        assert a.touches(b)  # union [0,2] is still an interval
+
+    def test_both_open_at_junction_leaves_gap(self):
+        a = Interval(0, 1, hi_open=True)
+        b = Interval(1, 2, lo_open=True)
+        assert not a.touches(b)  # value 1 is in neither
+
+
+class TestOperations:
+    def test_intersect(self):
+        shared = Interval(0, 5).intersect(Interval(3, 8))
+        assert shared == Interval(3, 5)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_intersect_openness(self):
+        shared = Interval(0, 5, hi_open=True).intersect(Interval(5, 8))
+        assert shared is None
+
+    def test_union_with(self):
+        union = Interval(0, 2).union_with(Interval(1, 5))
+        assert union == Interval(0, 5)
+
+    def test_union_with_gap_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).union_with(Interval(2, 3))
+
+    def test_hull_covers_gap(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+
+    def test_subtract_middle(self):
+        pieces = Interval(0, 10).subtract(Interval(3, 4))
+        assert pieces == [
+            Interval(0, 3, hi_open=True),
+            Interval(4, 10, lo_open=True),
+        ]
+
+    def test_subtract_everything(self):
+        assert Interval(3, 4).subtract(Interval(0, 10)) == []
+
+    def test_subtract_disjoint(self):
+        assert Interval(0, 1).subtract(Interval(5, 6)) == [Interval(0, 1)]
+
+    def test_subtract_edge(self):
+        pieces = Interval(0, 10).subtract(Interval(0, 3))
+        assert pieces == [Interval(3, 10, lo_open=True)]
+
+
+class TestIntervalSet:
+    def test_add_merges_touching(self):
+        s = IntervalSet([Interval(0, 2), Interval(1, 5)])
+        assert len(s) == 1
+        assert s.intervals[0] == Interval(0, 5)
+
+    def test_add_keeps_disjoint(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert len(s) == 2
+
+    def test_contains(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert s.contains(0.5) and s.contains(3.5)
+        assert not s.contains(2.0)
+
+    def test_intersect_sets(self):
+        a = IntervalSet([Interval(0, 5)])
+        b = IntervalSet([Interval(3, 8), Interval(10, 12)])
+        assert a.intersect(b) == IntervalSet([Interval(3, 5)])
+
+    def test_covers_set(self):
+        big = IntervalSet([Interval(0, 10)])
+        small = IntervalSet([Interval(1, 2), Interval(5, 6)])
+        assert big.covers_set(small)
+        assert not small.covers_set(big)
+
+    def test_covers_set_gap(self):
+        gappy = IntervalSet([Interval(0, 3), Interval(5, 10)])
+        spanning = IntervalSet([Interval(2, 6)])
+        assert not gappy.covers_set(spanning)
+
+
+class TestConstraintTranslation:
+    def test_equality_is_point(self):
+        s = interval_for_constraint(Constraint.arithmetic("p", Operator.EQ, 8.2))
+        assert s.intervals == (Interval.point(8.2),)
+
+    def test_ne_is_two_rays(self):
+        s = interval_for_constraint(Constraint.arithmetic("p", Operator.NE, 5.0))
+        assert len(s) == 2
+        assert not s.contains(5.0)
+        assert s.contains(4.999) and s.contains(5.001)
+
+    @pytest.mark.parametrize(
+        "op,value,inside,outside",
+        [
+            (Operator.LT, 8.7, 8.6, 8.7),
+            (Operator.LE, 8.7, 8.7, 8.71),
+            (Operator.GT, 8.3, 8.4, 8.3),
+            (Operator.GE, 8.3, 8.3, 8.29),
+        ],
+    )
+    def test_orderings(self, op, value, inside, outside):
+        s = interval_for_constraint(Constraint.arithmetic("p", op, value))
+        assert s.contains(inside)
+        assert not s.contains(outside)
+
+    def test_paper_band_conjunction(self):
+        """price > 8.30 AND price < 8.70 -> (8.30, 8.70), figure 4's row."""
+        s = intervals_for_conjunction(
+            [
+                Constraint.arithmetic("price", Operator.GT, 8.30),
+                Constraint.arithmetic("price", Operator.LT, 8.70),
+            ]
+        )
+        assert len(s) == 1
+        iv = s.intervals[0]
+        assert (iv.lo, iv.hi, iv.lo_open, iv.hi_open) == (8.30, 8.70, True, True)
+
+    def test_contradiction_is_empty(self):
+        s = intervals_for_conjunction(
+            [
+                Constraint.arithmetic("p", Operator.LT, 1.0),
+                Constraint.arithmetic("p", Operator.GT, 2.0),
+            ]
+        )
+        assert s.is_empty
+
+    def test_ne_conjunction_punches_hole(self):
+        s = intervals_for_conjunction(
+            [
+                Constraint.arithmetic("p", Operator.GE, 0.0),
+                Constraint.arithmetic("p", Operator.LE, 10.0),
+                Constraint.arithmetic("p", Operator.NE, 5.0),
+            ]
+        )
+        assert len(s) == 2
+        assert s.contains(0.0) and s.contains(10.0)
+        assert not s.contains(5.0)

@@ -1,0 +1,107 @@
+"""Property tests for the interval algebra (hypothesis).
+
+The interval layer underpins AACS exactness, so its operations are checked
+against the pointwise definition: an operation on intervals must agree with
+the corresponding boolean operation on membership, for arbitrary probes.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.model.constraints import Constraint, Operator
+from repro.summary.intervals import (
+    Interval,
+    IntervalSet,
+    interval_for_constraint,
+    intervals_for_conjunction,
+)
+
+_VALUES = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(_VALUES)
+    b = draw(_VALUES)
+    lo, hi = (a, b) if a <= b else (b, a)
+    if lo == hi:
+        return Interval.point(lo)
+    return Interval(lo, hi, draw(st.booleans()), draw(st.booleans()))
+
+
+@st.composite
+def interval_sets(draw):
+    return IntervalSet(draw(st.lists(intervals(), max_size=5)))
+
+
+@given(intervals(), intervals(), _VALUES)
+def test_intersection_is_pointwise_and(a, b, probe):
+    shared = a.intersect(b)
+    expected = a.contains(probe) and b.contains(probe)
+    got = shared.contains(probe) if shared is not None else False
+    assert got == expected
+
+
+@given(intervals(), intervals(), _VALUES)
+def test_subtract_is_pointwise_difference(a, b, probe):
+    pieces = a.subtract(b)
+    expected = a.contains(probe) and not b.contains(probe)
+    assert any(piece.contains(probe) for piece in pieces) == expected
+
+
+@given(intervals(), intervals(), _VALUES)
+def test_hull_contains_both(a, b, probe):
+    hull = a.hull(b)
+    if a.contains(probe) or b.contains(probe):
+        assert hull.contains(probe)
+
+
+@given(intervals(), intervals())
+def test_touches_iff_union_is_interval(a, b):
+    if a.touches(b):
+        union = a.union_with(b)
+        assert union.contains_interval(a) and union.contains_interval(b)
+
+
+@given(st.lists(intervals(), max_size=6), _VALUES)
+def test_interval_set_membership_is_union(members, probe):
+    s = IntervalSet(members)
+    assert s.contains(probe) == any(iv.contains(probe) for iv in members)
+
+
+@given(st.lists(intervals(), max_size=6))
+def test_interval_set_is_canonical(members):
+    """Members end up sorted and pairwise non-touching."""
+    s = IntervalSet(members)
+    ivs = s.intervals
+    for left, right in zip(ivs, ivs[1:]):
+        assert (left.lo, left.lo_open) <= (right.lo, right.lo_open)
+        assert not left.touches(right)
+
+
+@given(interval_sets(), interval_sets(), _VALUES)
+def test_covers_set_soundness(a, b, probe):
+    """covers_set(a, b) implies pointwise containment everywhere."""
+    if a.covers_set(b) and b.contains(probe):
+        assert a.contains(probe)
+
+
+_OPERATORS = st.sampled_from(
+    [Operator.EQ, Operator.NE, Operator.LT, Operator.LE, Operator.GT, Operator.GE]
+)
+
+
+@given(_OPERATORS, _VALUES, _VALUES)
+def test_constraint_translation_matches_semantics(op, bound, probe):
+    constraint = Constraint.arithmetic("p", op, bound)
+    values = interval_for_constraint(constraint)
+    assert values.contains(probe) == constraint.matches(probe)
+
+
+@given(st.lists(st.tuples(_OPERATORS, _VALUES), min_size=1, max_size=4), _VALUES)
+def test_conjunction_translation_matches_semantics(pairs, probe):
+    constraints = [Constraint.arithmetic("p", op, bound) for op, bound in pairs]
+    values = intervals_for_conjunction(constraints)
+    expected = all(constraint.matches(probe) for constraint in constraints)
+    assert values.contains(probe) == expected

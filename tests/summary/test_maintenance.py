@@ -1,0 +1,117 @@
+"""Stores, re-checks and rebuild-on-churn."""
+
+import pytest
+
+from repro.model import Event, parse_subscription
+from repro.summary import MaintainedSummary, Precision, SubscriptionStore
+
+
+class TestSubscriptionStore:
+    def test_subscribe_allocates_sequential_local_ids(self, schema):
+        store = SubscriptionStore(schema, broker_id=3)
+        a = store.subscribe(parse_subscription(schema, "price > 1"))
+        b = store.subscribe(parse_subscription(schema, "price > 2"))
+        assert (a.broker, a.local_id) == (3, 0)
+        assert (b.broker, b.local_id) == (3, 1)
+
+    def test_ids_never_reused_after_unsubscribe(self, schema):
+        store = SubscriptionStore(schema, broker_id=0)
+        a = store.subscribe(parse_subscription(schema, "price > 1"))
+        store.unsubscribe(a)
+        b = store.subscribe(parse_subscription(schema, "price > 2"))
+        assert b.local_id == 1
+
+    def test_mask_matches_subscription(self, schema):
+        store = SubscriptionStore(schema, broker_id=0)
+        sid = store.subscribe(parse_subscription(schema, "price > 1 AND symbol = A"))
+        assert sid.attr_mask == schema.attribute_mask(["price", "symbol"])
+
+    def test_membership(self, schema):
+        store = SubscriptionStore(schema, broker_id=0)
+        sub = parse_subscription(schema, "price > 1")
+        sid = store.subscribe(sub)
+        assert sid in store
+        assert store.get(sid) == sub
+        assert len(store) == 1
+        assert store.unsubscribe(sid) == sub
+        assert sid not in store
+        assert store.unsubscribe(sid) is None
+
+    def test_negative_broker_id_rejected(self, schema):
+        with pytest.raises(ValueError):
+            SubscriptionStore(schema, broker_id=-1)
+
+    def test_recheck_filters_false_positives(self, schema, paper_event):
+        store = SubscriptionStore(schema, broker_id=0)
+        match = store.subscribe(parse_subscription(schema, "price < 9"))
+        nomatch = store.subscribe(parse_subscription(schema, "price > 9"))
+        assert store.recheck(paper_event, {match, nomatch}) == {match}
+
+    def test_recheck_rejects_foreign_ids(self, schema, paper_event):
+        from repro.model import SubscriptionId
+
+        store = SubscriptionStore(schema, broker_id=0)
+        foreign = SubscriptionId(broker=5, local_id=0, attr_mask=1)
+        with pytest.raises(ValueError):
+            store.recheck(paper_event, {foreign})
+
+    def test_recheck_ignores_unsubscribed(self, schema, paper_event):
+        store = SubscriptionStore(schema, broker_id=0)
+        sid = store.subscribe(parse_subscription(schema, "price < 9"))
+        store.unsubscribe(sid)
+        assert store.recheck(paper_event, {sid}) == set()
+
+
+class TestMaintainedSummary:
+    def test_subscribe_updates_summary(self, schema, paper_event):
+        maintained = MaintainedSummary(SubscriptionStore(schema, 0))
+        sid = maintained.subscribe(parse_subscription(schema, "price < 9"))
+        assert maintained.match(paper_event) == {sid}
+
+    def test_unsubscribe_removes_immediately(self, schema, paper_event):
+        maintained = MaintainedSummary(SubscriptionStore(schema, 0))
+        sid = maintained.subscribe(parse_subscription(schema, "price < 9"))
+        assert maintained.unsubscribe(sid)
+        assert maintained.match(paper_event) == set()
+        assert not maintained.unsubscribe(sid)
+
+    def test_rebuild_triggers_on_churn(self, schema):
+        maintained = MaintainedSummary(
+            SubscriptionStore(schema, 0), rebuild_threshold=0.5
+        )
+        sids = [
+            maintained.subscribe(parse_subscription(schema, f"price > {i}"))
+            for i in range(8)
+        ]
+        for sid in sids[:5]:
+            maintained.unsubscribe(sid)
+        assert maintained.rebuild_count >= 1
+
+    def test_rebuild_restores_compaction(self, schema):
+        """After churn + rebuild the summary equals a fresh build."""
+        maintained = MaintainedSummary(SubscriptionStore(schema, 0))
+        sids = [
+            maintained.subscribe(
+                parse_subscription(schema, f"price > {i} AND price < {i + 10}")
+            )
+            for i in range(6)
+        ]
+        for sid in sids[::2]:
+            maintained.unsubscribe(sid)
+        maintained.rebuild()
+        fresh = maintained.store.build_summary(maintained.precision)
+        assert maintained.summary.stats().as_dict() == fresh.stats().as_dict()
+
+    def test_match_confirmed_filters_coarse_false_positives(self, schema):
+        maintained = MaintainedSummary(SubscriptionStore(schema, 0))
+        inside = maintained.subscribe(
+            parse_subscription(schema, "price > 1 AND price < 3")
+        )
+        maintained.subscribe(parse_subscription(schema, "price > 2 AND price < 5"))
+        event = Event.of(price=4.0)  # only the second matches truly
+        assert inside in maintained.match(event)  # coarse over-match
+        assert inside not in maintained.match_confirmed(event)
+
+    def test_invalid_threshold(self, schema):
+        with pytest.raises(ValueError):
+            MaintainedSummary(SubscriptionStore(schema, 0), rebuild_threshold=0.0)

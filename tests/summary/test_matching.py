@@ -1,0 +1,93 @@
+"""Algorithm 1 vs the subscription-centric ground truth.
+
+The central correctness property of the whole paper: for any workload and
+any event,
+
+* an EXACT summary matches exactly what per-subscription evaluation does;
+* a COARSE summary matches a superset, and the home re-check restores
+  exactness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.ids import SubscriptionId
+from repro.summary import (
+    BrokerSummary,
+    NaiveMatcher,
+    Precision,
+    SubscriptionStore,
+    match_event,
+)
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _build(seed: int, count: int, subsumption: float, precision: Precision):
+    config = WorkloadConfig(subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=seed)
+    store = SubscriptionStore(generator.schema, broker_id=0)
+    naive = NaiveMatcher()
+    for subscription in generator.subscriptions(count):
+        sid = store.subscribe(subscription)
+        naive.add(subscription, sid)
+    return generator, store, store.build_summary(precision), naive
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    subsumption=st.sampled_from([0.1, 0.5, 0.9]),
+)
+def test_exact_summary_equals_naive(seed, subsumption):
+    generator, _store, summary, naive = _build(seed, 30, subsumption, Precision.EXACT)
+    for event in generator.events(20):
+        assert match_event(summary, event) == naive.match(event)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    subsumption=st.sampled_from([0.1, 0.5, 0.9]),
+)
+def test_coarse_summary_is_superset_and_recheck_exact(seed, subsumption):
+    generator, store, summary, naive = _build(seed, 30, subsumption, Precision.COARSE)
+    for event in generator.events(20):
+        truth = naive.match(event)
+        candidates = match_event(summary, event)
+        assert candidates >= truth
+        assert store.recheck(event, candidates) == truth
+
+
+def test_match_empty_summary(schema, paper_event):
+    assert match_event(BrokerSummary(schema), paper_event) == set()
+
+
+def test_naive_matcher_membership(schema, paper_subscriptions):
+    naive = NaiveMatcher()
+    s1, _ = paper_subscriptions
+    sid = SubscriptionId(0, 0, schema.mask_of(s1))
+    naive.add(s1, sid)
+    assert len(naive) == 1
+    assert naive.remove(sid)
+    assert not naive.remove(sid)
+    assert len(naive) == 0
+
+
+def test_naive_matcher_duplicate_id_rejected(schema, paper_subscriptions):
+    import pytest
+
+    naive = NaiveMatcher()
+    s1, s2 = paper_subscriptions
+    sid = SubscriptionId(0, 0, schema.mask_of(s1))
+    naive.add(s1, sid)
+    with pytest.raises(ValueError):
+        naive.add(s2, sid)
+
+
+def test_match_details_candidates_and_partials(paper_store, paper_event):
+    from repro.summary import match_event_detailed
+
+    summary = paper_store.build_summary(Precision.COARSE)
+    details = match_event_detailed(summary, paper_event)
+    assert details.matched <= details.candidates
+    assert details.partials() == details.candidates - details.matched
+    assert set(details.per_attribute) <= set(paper_event.names)

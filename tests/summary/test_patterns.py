@@ -1,0 +1,200 @@
+"""String pattern algebra: matching, coverage, hulls (paper's SACS rows)."""
+
+import pytest
+
+from repro.model.constraints import Constraint, Operator
+from repro.summary.patterns import (
+    ConjunctionPattern,
+    GlobPattern,
+    NotEqualsPattern,
+    pattern_for_constraint,
+    pattern_hull,
+)
+
+
+class TestGlobConstruction:
+    def test_literal(self):
+        p = GlobPattern.literal("OTE")
+        assert p.is_literal
+        assert p.wire_text() == "OTE"
+
+    def test_empty_middle_pieces_collapse(self):
+        assert GlobPattern(("a", "", "b")).pieces == ("a", "b")
+
+    def test_universal(self):
+        u = GlobPattern.universal()
+        assert u.is_universal
+        assert u.matches("") and u.matches("anything")
+
+    def test_from_glob_text(self):
+        p = GlobPattern.from_glob_text("N*SE")
+        assert p.pieces == ("N", "SE")
+
+    def test_contains_empty_body_is_universal(self):
+        assert GlobPattern.contains("").is_universal
+
+    def test_zero_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            GlobPattern(())
+
+
+class TestGlobMatching:
+    def test_paper_example_mt(self):
+        """'m*t' covers 'microsoft' or 'micronet' (section 3.1)."""
+        p = GlobPattern.from_glob_text("m*t")
+        assert p.matches("microsoft")
+        assert p.matches("micronet")
+        assert not p.matches("apple")
+
+    def test_prefix(self):
+        p = GlobPattern.prefix("OT")
+        assert p.matches("OTE") and p.matches("OT")
+        assert not p.matches("NOT")
+
+    def test_suffix(self):
+        p = GlobPattern.suffix("SE")
+        assert p.matches("NYSE")
+        assert not p.matches("SEC")
+
+    def test_contains(self):
+        p = GlobPattern.contains("net")
+        assert p.matches("micronet") and p.matches("netscape")
+        assert not p.matches("nte")
+
+    def test_literal_star_is_not_wildcard(self):
+        """An equality operand containing '*' stays literal."""
+        p = GlobPattern.literal("a*b")
+        assert p.matches("a*b")
+        assert not p.matches("axb")
+
+
+class TestCoverage:
+    def test_general_covers_specific_literal(self):
+        assert GlobPattern.from_glob_text("m*t").covers(GlobPattern.literal("microsoft"))
+
+    def test_prefix_covers_deeper_prefix(self):
+        assert GlobPattern.prefix("OT").covers(GlobPattern.prefix("OTE"))
+        assert not GlobPattern.prefix("OTE").covers(GlobPattern.prefix("OT"))
+
+    def test_suffix_covers_deeper_suffix(self):
+        assert GlobPattern.suffix("E").covers(GlobPattern.suffix("TE"))
+
+    def test_contains_covers_prefix_with_body(self):
+        assert GlobPattern.contains("OT").covers(GlobPattern.prefix("OT"))
+
+    def test_literal_never_covers_infinite(self):
+        assert not GlobPattern.literal("OT").covers(GlobPattern.prefix("OT"))
+
+    def test_universal_covers_everything(self):
+        u = GlobPattern.universal()
+        assert u.covers(GlobPattern.literal("x"))
+        assert u.covers(GlobPattern.prefix("x"))
+        assert u.covers(NotEqualsPattern("x"))
+
+    def test_middle_embedding_positive(self):
+        assert GlobPattern.from_glob_text("a*c*").covers(GlobPattern.from_glob_text("abc*"))
+
+    def test_middle_embedding_negative_split_chunks(self):
+        """'*aa*' must not claim to cover 'a*a' (value 'aba' breaks it)."""
+        coverer = GlobPattern.from_glob_text("*aa*")
+        coveree = GlobPattern.from_glob_text("a*a")
+        assert not coverer.covers(coveree)
+
+    def test_in_order_embedding_required(self):
+        assert not GlobPattern.from_glob_text("*b*a*").covers(
+            GlobPattern.from_glob_text("a*b")
+        )
+
+    def test_self_coverage(self):
+        for text in ("abc", "a*b", "*x*", "p*"):
+            p = GlobPattern.from_glob_text(text)
+            assert p.covers(p)
+
+
+class TestNotEquals:
+    def test_matches(self):
+        p = NotEqualsPattern("OTE")
+        assert p.matches("IBM")
+        assert not p.matches("OTE")
+
+    def test_covers_literal(self):
+        p = NotEqualsPattern("OTE")
+        assert p.covers(GlobPattern.literal("IBM"))
+        assert not p.covers(GlobPattern.literal("OTE"))
+
+    def test_covers_glob_only_if_avoiding(self):
+        p = NotEqualsPattern("OTE")
+        assert not p.covers(GlobPattern.prefix("OT"))  # "OTE" matches OT*
+        assert p.covers(GlobPattern.prefix("IBM"))
+
+    def test_glob_covers_ne_only_if_universal(self):
+        ne = NotEqualsPattern("x")
+        assert GlobPattern.universal().covers(ne)
+        assert not GlobPattern.prefix("a").covers(ne)
+
+    def test_ne_covers_ne(self):
+        assert NotEqualsPattern("x").covers(NotEqualsPattern("x"))
+        assert not NotEqualsPattern("x").covers(NotEqualsPattern("y"))
+
+
+class TestConjunction:
+    def test_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            ConjunctionPattern([GlobPattern.literal("x")])
+
+    def test_matches_all_parts(self):
+        conj = ConjunctionPattern([GlobPattern.prefix("OT"), GlobPattern.suffix("E")])
+        assert conj.matches("OTE")
+        assert not conj.matches("OTB")
+        assert not conj.matches("NOTE")
+
+    def test_flattens_nested(self):
+        inner = ConjunctionPattern([GlobPattern.prefix("a"), GlobPattern.suffix("b")])
+        outer = ConjunctionPattern([inner, GlobPattern.contains("c")])
+        assert len(outer.parts) == 3
+
+    def test_member_covers_conjunction(self):
+        conj = ConjunctionPattern([GlobPattern.prefix("OT"), GlobPattern.suffix("E")])
+        assert GlobPattern.prefix("OT").covers(conj)
+        assert GlobPattern.prefix("O").covers(conj)
+
+    def test_conjunction_covers_literal(self):
+        conj = ConjunctionPattern([GlobPattern.prefix("OT"), GlobPattern.suffix("E")])
+        assert conj.covers(GlobPattern.literal("OTE"))
+        assert not conj.covers(GlobPattern.literal("OTB"))
+
+
+class TestPatternForConstraint:
+    @pytest.mark.parametrize(
+        "op,operand,matching,failing",
+        [
+            (Operator.EQ, "OTE", "OTE", "OTEX"),
+            (Operator.NE, "OTE", "IBM", "OTE"),
+            (Operator.PREFIX, "OT", "OTE", "TOT"),
+            (Operator.SUFFIX, "TE", "OTE", "TEX"),
+            (Operator.CONTAINS, "T", "OTE", "ABC"),
+            (Operator.MATCHES, "N*SE", "NYSE", "NYSEX"),
+        ],
+    )
+    def test_agrees_with_constraint(self, op, operand, matching, failing):
+        constraint = Constraint.string("symbol", op, operand)
+        pattern = pattern_for_constraint(constraint)
+        assert pattern.matches(matching) == constraint.matches(matching) is True
+        assert pattern.matches(failing) == constraint.matches(failing) is False
+
+
+class TestHull:
+    def test_coverer_wins(self):
+        general = GlobPattern.prefix("OT")
+        specific = GlobPattern.literal("OTE")
+        assert pattern_hull(general, specific) is general
+
+    def test_common_prefix_hull(self):
+        hull = pattern_hull(GlobPattern.literal("abcX"), GlobPattern.literal("abcY"))
+        assert hull.covers(GlobPattern.literal("abcX"))
+        assert hull.covers(GlobPattern.literal("abcY"))
+
+    def test_fallback_is_universal(self):
+        hull = pattern_hull(NotEqualsPattern("a"), GlobPattern.literal("a"))
+        assert hull.covers(NotEqualsPattern("a"))
+        assert hull.covers(GlobPattern.literal("a"))

@@ -1,0 +1,99 @@
+"""Property tests for the pattern algebra (hypothesis).
+
+The load-bearing property is *coverage soundness*: if ``p.covers(q)``
+returns True, then every string matched by ``q`` must be matched by ``p``.
+SACS correctness (and Siena covering-pruned propagation) rests on it.
+Completeness is NOT required — a sound False merely costs a summary row.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.constraints import Constraint, Operator, glob_match
+from repro.summary.patterns import (
+    ConjunctionPattern,
+    GlobPattern,
+    NotEqualsPattern,
+    pattern_for_constraint,
+    pattern_hull,
+)
+
+# A tiny alphabet maximizes collisions (worst case for soundness bugs).
+_TEXT = st.text(alphabet="ab*", max_size=6)
+_PLAIN = st.text(alphabet="ab", max_size=6)
+
+
+@st.composite
+def glob_patterns(draw):
+    pieces = draw(st.lists(st.text(alphabet="ab", max_size=3), min_size=1, max_size=4))
+    return GlobPattern(tuple(pieces))
+
+
+@st.composite
+def patterns(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(glob_patterns())
+    if kind == 1:
+        return NotEqualsPattern(draw(_PLAIN))
+    return ConjunctionPattern([draw(glob_patterns()), draw(glob_patterns())])
+
+
+@given(glob_patterns(), _PLAIN)
+def test_glob_matching_agrees_with_model_glob_match(pattern, value):
+    """GlobPattern.matches must agree with the reference glob matcher when
+    pieces are reassembled into pattern text (pieces here are star-free)."""
+    text = "*".join(pattern.pieces)
+    assert pattern.matches(value) == glob_match(text, value)
+
+
+@settings(max_examples=300)
+@given(patterns(), patterns(), _PLAIN)
+def test_coverage_soundness(p, q, value):
+    """covers(p, q) implies L(q) is a subset of L(p), probed pointwise."""
+    if p.covers(q) and q.matches(value):
+        assert p.matches(value)
+
+
+@given(patterns())
+def test_coverage_reflexive(p):
+    assert p.covers(p)
+
+
+@given(patterns(), patterns(), patterns(), _PLAIN)
+def test_coverage_transitive_pointwise(p, q, r, value):
+    """Transitivity probed pointwise (full transitivity needs completeness,
+    which we don't promise; soundness chains regardless)."""
+    if p.covers(q) and q.covers(r) and r.matches(value):
+        assert p.matches(value)
+
+
+@given(glob_patterns(), glob_patterns(), _PLAIN)
+def test_hull_covers_both_pointwise(p, q, value):
+    hull = pattern_hull(p, q)
+    if p.matches(value) or q.matches(value):
+        assert hull.matches(value)
+
+
+_STRING_OPS = st.sampled_from(
+    [Operator.EQ, Operator.NE, Operator.PREFIX, Operator.SUFFIX,
+     Operator.CONTAINS, Operator.MATCHES]
+)
+
+
+@given(_STRING_OPS, _TEXT, _PLAIN)
+def test_pattern_for_constraint_agrees_with_semantics(op, operand, value):
+    constraint = Constraint.string("s", op, operand)
+    pattern = pattern_for_constraint(constraint)
+    assert pattern.matches(value) == constraint.matches(value)
+
+
+@given(patterns())
+def test_key_is_stable_and_hashable(p):
+    assert p.key() == p.key()
+    assert hash(p) == hash(p)
+
+
+@given(glob_patterns())
+def test_canonical_pieces_have_no_empty_middles(p):
+    for piece in p.middle:
+        assert piece

@@ -1,0 +1,173 @@
+"""SACS structure tests (paper section 3.1, figure 5)."""
+
+import pytest
+
+from repro.model.ids import SubscriptionId
+from repro.summary.patterns import (
+    ConjunctionPattern,
+    GlobPattern,
+    NotEqualsPattern,
+)
+from repro.summary.precision import Precision
+from repro.summary.sacs import SACS
+
+
+def sid(n: int) -> SubscriptionId:
+    return SubscriptionId(broker=0, local_id=n, attr_mask=1)
+
+
+class TestPaperFigure5:
+    def test_prefix_absorbs_equality(self):
+        """'>* OT' -> S1, S2: S1's '= OTE' collapses into S2's 'OT*' row."""
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("OTE"), sid(1))
+        sacs.insert(GlobPattern.prefix("OT"), sid(2))
+        assert sacs.n_r == 1
+        assert sacs.match("OTE") == {sid(1), sid(2)}
+        # Over-match by design: S1 is reported for any OT* value.
+        assert sacs.match("OTB") == {sid(1), sid(2)}
+
+    def test_insertion_order_does_not_change_rows(self):
+        a = SACS(Precision.COARSE)
+        a.insert(GlobPattern.literal("OTE"), sid(1))
+        a.insert(GlobPattern.prefix("OT"), sid(2))
+        b = SACS(Precision.COARSE)
+        b.insert(GlobPattern.prefix("OT"), sid(2))
+        b.insert(GlobPattern.literal("OTE"), sid(1))
+        assert a.n_r == b.n_r == 1
+        assert a.match("OTE") == b.match("OTE")
+
+
+class TestCoarseMode:
+    def test_identical_literals_share_row(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("IBM"), sid(1))
+        sacs.insert(GlobPattern.literal("IBM"), sid(2))
+        assert sacs.n_r == 1
+        assert sacs.match("IBM") == {sid(1), sid(2)}
+
+    def test_distinct_literals_get_rows(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("IBM"), sid(1))
+        sacs.insert(GlobPattern.literal("MSFT"), sid(2))
+        assert sacs.n_r == 2
+        assert sacs.match("IBM") == {sid(1)}
+
+    def test_covered_general_joins_row(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.prefix("O"), sid(1))
+        sacs.insert(GlobPattern.prefix("OT"), sid(2))  # covered by O*
+        assert sacs.n_r == 1
+        assert sacs.match("OXY") == {sid(1), sid(2)}
+
+    def test_general_substitutes_covered_rows(self):
+        """Paper: 'if a more general constraint appears then the current is
+        substituted by the new one'."""
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.prefix("OTE"), sid(1))
+        sacs.insert(GlobPattern.prefix("OTA"), sid(2))
+        sacs.insert(GlobPattern.prefix("OT"), sid(3))
+        assert sacs.n_r == 1
+        assert sacs.match("OTX") == {sid(1), sid(2), sid(3)}
+
+    def test_mt_covers_microsoft_and_micronet(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("microsoft"), sid(1))
+        sacs.insert(GlobPattern.literal("micronet"), sid(2))
+        sacs.insert(GlobPattern.from_glob_text("m*t"), sid(3))
+        assert sacs.n_r == 1
+        assert sacs.match("microsoft") == {sid(1), sid(2), sid(3)}
+
+    def test_unrelated_general_rows_coexist(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.prefix("A"), sid(1))
+        sacs.insert(GlobPattern.suffix("Z"), sid(2))
+        assert sacs.n_r == 2
+        assert sacs.match("AZ") == {sid(1), sid(2)}
+
+    def test_not_equals_row(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(NotEqualsPattern("OTE"), sid(1))
+        assert sacs.match("IBM") == {sid(1)}
+        assert sacs.match("OTE") == set()
+
+
+class TestExactMode:
+    def test_no_collapsing_into_coverers(self):
+        sacs = SACS(Precision.EXACT)
+        sacs.insert(GlobPattern.literal("OTE"), sid(1))
+        sacs.insert(GlobPattern.prefix("OT"), sid(2))
+        assert sacs.n_r == 2
+        assert sacs.match("OTE") == {sid(1), sid(2)}
+        assert sacs.match("OTB") == {sid(2)}  # no false positive for sid(1)
+
+    def test_identical_patterns_still_share(self):
+        sacs = SACS(Precision.EXACT)
+        sacs.insert(GlobPattern.prefix("OT"), sid(1))
+        sacs.insert(GlobPattern.prefix("OT"), sid(2))
+        assert sacs.n_r == 1
+
+    def test_conjunction_rows(self):
+        sacs = SACS(Precision.EXACT)
+        conj = ConjunctionPattern([GlobPattern.prefix("OT"), GlobPattern.suffix("E")])
+        sacs.insert(conj, sid(1))
+        assert sacs.match("OTE") == {sid(1)}
+        assert sacs.match("OTB") == set()
+
+
+class TestMaintenance:
+    def test_remove_drops_empty_rows(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("IBM"), sid(1))
+        sacs.insert(GlobPattern.prefix("MS"), sid(2))
+        assert sacs.remove(sid(1))
+        assert sacs.n_r == 1
+        assert sacs.remove(sid(2))
+        assert sacs.is_empty
+
+    def test_remove_missing_returns_false(self):
+        assert not SACS().remove(sid(9))
+
+    def test_merge(self):
+        a = SACS(Precision.COARSE)
+        a.insert(GlobPattern.literal("IBM"), sid(1))
+        b = SACS(Precision.COARSE)
+        b.insert(GlobPattern.prefix("IB"), sid(2))
+        a.merge(b)
+        assert a.n_r == 1  # IB* absorbs IBM
+        assert a.match("IBM") == {sid(1), sid(2)}
+
+    def test_merge_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SACS(Precision.COARSE).merge(SACS(Precision.EXACT))
+
+    def test_copy_is_independent(self):
+        a = SACS(Precision.COARSE)
+        a.insert(GlobPattern.literal("IBM"), sid(1))
+        clone = a.copy()
+        clone.insert(GlobPattern.literal("MSFT"), sid(2))
+        assert a.n_r == 1
+        assert clone.n_r == 2
+
+
+class TestAccounting:
+    def test_value_bytes_counts_pattern_text(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("IBM"), sid(1))  # 3 bytes
+        sacs.insert(GlobPattern.prefix("MS"), sid(2))  # "MS*" = 3 bytes
+        assert sacs.value_bytes() == 6
+
+    def test_id_list_entries(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.prefix("OT"), sid(1))
+        sacs.insert(GlobPattern.literal("OTE"), sid(2))  # joins the OT* row
+        assert sacs.id_list_entries() == 2
+        assert sacs.all_ids() == {sid(1), sid(2)}
+
+    def test_rows_order_deterministic(self):
+        sacs = SACS(Precision.COARSE)
+        sacs.insert(GlobPattern.literal("B"), sid(1))
+        sacs.insert(GlobPattern.literal("A"), sid(2))
+        sacs.insert(GlobPattern.prefix("Z"), sid(3))
+        values = [row.pattern.wire_text() for row in sacs.rows()]
+        assert values == ["A", "B", "Z*"]

@@ -1,0 +1,115 @@
+"""Property tests for SACS (hypothesis).
+
+Mirror of the AACS property suite for the string side: EXACT equals ground
+truth, COARSE never misses, structural invariants hold under arbitrary
+insertion orders, and row counts never exceed the inserted pattern count
+(summarization only ever compacts).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.ids import SubscriptionId
+from repro.summary.patterns import pattern_for_constraint
+from repro.summary.precision import Precision
+from repro.summary.sacs import SACS
+
+_OPS = st.sampled_from(
+    [Operator.EQ, Operator.NE, Operator.PREFIX, Operator.SUFFIX,
+     Operator.CONTAINS, Operator.MATCHES]
+)
+_OPERANDS = st.text(alphabet="ab*", max_size=4)
+_PROBES = st.text(alphabet="ab", max_size=5)
+
+# One string constraint per subscription (the paper's common case).
+_WORKLOAD = st.lists(st.tuples(_OPS, _OPERANDS), min_size=1, max_size=12)
+
+
+def _build(workload, precision):
+    sacs = SACS(precision)
+    ground_truth = []
+    for index, (op, operand) in enumerate(workload):
+        constraint = Constraint.string("s", op, operand)
+        sid = SubscriptionId(broker=0, local_id=index, attr_mask=1)
+        sacs.insert(pattern_for_constraint(constraint), sid)
+        ground_truth.append((sid, constraint))
+    return sacs, ground_truth
+
+
+def _expected(ground_truth, probe):
+    return {sid for sid, constraint in ground_truth if constraint.matches(probe)}
+
+
+@settings(max_examples=300)
+@given(_WORKLOAD, _PROBES)
+def test_exact_mode_is_exact(workload, probe):
+    sacs, ground_truth = _build(workload, Precision.EXACT)
+    assert sacs.match(probe) == _expected(ground_truth, probe)
+
+
+@settings(max_examples=300)
+@given(_WORKLOAD, _PROBES)
+def test_coarse_mode_never_misses(workload, probe):
+    sacs, ground_truth = _build(workload, Precision.COARSE)
+    assert sacs.match(probe) >= _expected(ground_truth, probe)
+
+
+@given(_WORKLOAD)
+def test_row_count_never_exceeds_insertions(workload):
+    for precision in (Precision.COARSE, Precision.EXACT):
+        sacs, _ = _build(workload, precision)
+        assert sacs.n_r <= len(workload)
+
+
+@given(_WORKLOAD)
+def test_coarse_never_more_rows_than_exact(workload):
+    coarse, _ = _build(workload, Precision.COARSE)
+    exact, _ = _build(workload, Precision.EXACT)
+    assert coarse.n_r <= exact.n_r
+
+
+@given(_WORKLOAD)
+def test_all_ids_present_until_removed(workload):
+    sacs, ground_truth = _build(workload, Precision.COARSE)
+    assert sacs.all_ids() == {sid for sid, _c in ground_truth}
+    for sid, _constraint in ground_truth:
+        sacs.remove(sid)
+    assert sacs.is_empty
+
+
+@given(_WORKLOAD)
+def test_id_entries_account_every_insertion(workload):
+    sacs, _ = _build(workload, Precision.COARSE)
+    assert sacs.id_list_entries() == len(workload)
+
+
+@settings(max_examples=150)
+@given(_WORKLOAD, _WORKLOAD, _PROBES)
+def test_merge_never_loses_matches(first, second, probe):
+    a, _ = _build(first, Precision.COARSE)
+    b = SACS(Precision.COARSE)
+    b_truth = []
+    for index, (op, operand) in enumerate(second):
+        constraint = Constraint.string("s", op, operand)
+        sid = SubscriptionId(broker=1, local_id=index, attr_mask=1)
+        b.insert(pattern_for_constraint(constraint), sid)
+        b_truth.append((sid, constraint))
+    before = a.match(probe) | b.match(probe)
+    a.merge(b)
+    assert a.match(probe) >= before
+
+
+@settings(max_examples=150)
+@given(_WORKLOAD, _PROBES)
+def test_codec_roundtrip_preserves_matches(workload, probe):
+    from repro.model import IdCodec, Schema, AttributeType
+    from repro.summary.summary import BrokerSummary
+    from repro.wire.codec import ValueWidth, WireCodec
+
+    schema = Schema.of(s=AttributeType.STRING)
+    wire = WireCodec(schema, IdCodec(2, 64, 1), ValueWidth.F64)
+    summary = BrokerSummary(schema, Precision.COARSE)
+    sacs, _ = _build(workload, Precision.COARSE)
+    summary._sacs["s"] = sacs  # direct structural injection
+    decoded = wire.decode_summary(wire.encode_summary(summary))
+    assert decoded.sacs("s").match(probe) >= sacs.match(probe)

@@ -1,0 +1,157 @@
+"""BrokerSummary: dissolution, matching, merge, stats (paper section 3)."""
+
+import pytest
+
+from repro.model import (
+    AttributeType,
+    Constraint,
+    Event,
+    Operator,
+    SchemaError,
+    SubscriptionId,
+    parse_subscription,
+)
+from repro.summary import BrokerSummary, Precision, SubscriptionStore
+
+
+class TestAdd:
+    def test_paper_subscriptions_build_figure4_and_5(self, schema, paper_subscriptions):
+        store = SubscriptionStore(schema, broker_id=0)
+        for subscription in paper_subscriptions:
+            store.subscribe(subscription)
+        summary = store.build_summary(Precision.COARSE)
+        price = summary.aacs("price")
+        assert price.n_sr == 1 and price.n_e == 1  # figure 4
+        assert summary.sacs("symbol").n_r == 1  # figure 5 (OT* absorbs OTE)
+        assert summary.sacs("exchange").n_r == 1
+
+    def test_mask_mismatch_rejected(self, schema, paper_subscriptions):
+        s1, _ = paper_subscriptions
+        summary = BrokerSummary(schema)
+        bad_sid = SubscriptionId(broker=0, local_id=0, attr_mask=0b1)
+        with pytest.raises(ValueError):
+            summary.add(s1, bad_sid)
+
+    def test_schema_violation_rejected(self, schema):
+        summary = BrokerSummary(schema)
+        alien = parse_subscription(schema, "price > 1")
+        wrong = Constraint("price", AttributeType.INTEGER, Operator.GT, 1)
+        from repro.model import Subscription
+
+        with pytest.raises(SchemaError):
+            summary.add(
+                Subscription([wrong]),
+                SubscriptionId(0, 0, schema.attribute_mask(["price"])),
+            )
+        # sanity: the well-typed version is accepted
+        summary.add(alien, SubscriptionId(0, 1, schema.attribute_mask(["price"])))
+
+
+class TestMatch:
+    def test_paper_example_1(self, paper_store, paper_event):
+        """Figure 2's event matches S1 only (worked Example 1)."""
+        summary = paper_store.build_summary(Precision.COARSE)
+        matched = summary.match(paper_event)
+        assert {m.local_id for m in matched} == {0}
+
+    def test_event_missing_attribute_no_match(self, paper_store):
+        summary = paper_store.build_summary(Precision.COARSE)
+        event = Event.of(symbol="OTE", exchange="NYSE")  # no price
+        assert summary.match(event) == set()
+
+    def test_counter_semantics(self, paper_store, paper_event):
+        """S2 collects 2 of its 4 attributes -> no match (Example 1)."""
+        from repro.summary import match_event_detailed
+
+        summary = paper_store.build_summary(Precision.COARSE)
+        details = match_event_detailed(summary, paper_event)
+        s2 = next(c for c in details.counters if c.local_id == 1)
+        assert details.counters[s2] == 2
+        assert s2.attribute_count == 4
+        assert s2 in details.partials()
+
+    def test_multiple_string_constraints_exact_conjunction(self, schema):
+        """EXACT keeps 'symbol >* OT AND symbol *< E' as a conjunction."""
+        store = SubscriptionStore(schema, broker_id=0)
+        sid = store.subscribe(
+            parse_subscription(schema, "symbol >* OT AND symbol *< E")
+        )
+        exact = store.build_summary(Precision.EXACT)
+        assert exact.match(Event.of(symbol="OTE")) == {sid}
+        assert exact.match(Event.of(symbol="OTB")) == set()
+
+    def test_multiple_string_constraints_coarse_overmatches(self, schema):
+        store = SubscriptionStore(schema, broker_id=0)
+        sid = store.subscribe(
+            parse_subscription(schema, "symbol >* OT AND symbol *< E")
+        )
+        coarse = store.build_summary(Precision.COARSE)
+        # Per-constraint dissolution: either constraint alone collects the id
+        # on its single attribute, so the counter reaches popcount(c3).
+        assert coarse.match(Event.of(symbol="OTB")) == {sid}
+        # ... and the home re-check drops it:
+        assert store.recheck(Event.of(symbol="OTB"), {sid}) == set()
+
+
+class TestRemoveAndMerge:
+    def test_remove(self, paper_store):
+        summary = paper_store.build_summary(Precision.COARSE)
+        target = next(iter(paper_store.ids()))
+        assert summary.remove(target)
+        assert target not in summary.all_ids()
+        assert not summary.remove(target)
+
+    def test_remove_prunes_empty_structures(self, schema):
+        store = SubscriptionStore(schema, broker_id=0)
+        sid = store.subscribe(parse_subscription(schema, "price > 1"))
+        summary = store.build_summary()
+        summary.remove(sid)
+        assert summary.is_empty
+        assert summary.aacs("price") is None
+
+    def test_merge_multi_broker(self, schema):
+        a_store = SubscriptionStore(schema, broker_id=0)
+        b_store = SubscriptionStore(schema, broker_id=1)
+        sid_a = a_store.subscribe(parse_subscription(schema, "price > 5"))
+        sid_b = b_store.subscribe(parse_subscription(schema, "symbol = OTE"))
+        merged = BrokerSummary.merged(
+            [a_store.build_summary(), b_store.build_summary()]
+        )
+        assert merged.owner_brokers() == {0, 1}
+        assert merged.match(Event.of(price=6.0)) == {sid_a}
+        assert merged.match(Event.of(symbol="OTE")) == {sid_b}
+
+    def test_merge_schema_mismatch_rejected(self, schema):
+        from repro.model import Schema
+
+        other = Schema.of(x=AttributeType.FLOAT)
+        with pytest.raises(SchemaError):
+            BrokerSummary(schema).merge(BrokerSummary(other))
+
+    def test_merged_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerSummary.merged([])
+
+    def test_copy_independent(self, paper_store):
+        original = paper_store.build_summary()
+        clone = original.copy()
+        for sid in list(clone.all_ids()):
+            clone.remove(sid)
+        assert original.all_ids()  # untouched
+
+
+class TestStats:
+    def test_stats_counts(self, paper_store):
+        stats = paper_store.build_summary(Precision.COARSE).stats()
+        assert stats.arithmetic_attributes == 3  # price, volume, low
+        assert stats.string_attributes == 2  # exchange, symbol
+        assert stats.n_sr >= 1 and stats.n_e >= 1
+        assert stats.arithmetic_id_entries >= 3
+        assert stats.string_id_entries >= 3
+        assert stats.string_value_bytes > 0
+
+    def test_stats_as_dict(self, paper_store):
+        stats = paper_store.build_summary().stats()
+        as_dict = stats.as_dict()
+        assert as_dict["n_sr"] == stats.n_sr
+        assert set(as_dict) == set(stats.__slots__)

@@ -1,0 +1,68 @@
+"""Property tests for trace serialization (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker.system import SummaryPubSub
+from repro.network.topology import Topology
+from repro.tools.trace import OpKind, Trace, replay
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), ops=st.integers(1, 20))
+def test_trace_save_load_roundtrip(tmp_path_factory, seed, ops):
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=0.5), seed=seed)
+    import random
+
+    rng = random.Random(seed)
+    trace = Trace(generator.schema)
+    for _ in range(ops):
+        choice = rng.randrange(3)
+        if choice == 0:
+            trace.subscribe(rng.randrange(5), generator.subscription())
+        elif choice == 1:
+            trace.propagate()
+        else:
+            trace.publish(rng.randrange(5), generator.event())
+    path = tmp_path_factory.mktemp("traces") / f"t{seed}.trace"
+    trace.save(path)
+    loaded = Trace.load(path, generator.schema)
+    assert len(loaded) == len(trace)
+    for original, decoded in zip(trace, loaded):
+        assert original.kind == decoded.kind
+        assert original.broker == decoded.broker
+        assert original.subscription == decoded.subscription
+        assert original.event == decoded.event
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_replay_determinism(seed):
+    """Replaying the same trace twice on fresh systems is bit-identical."""
+    generator = WorkloadGenerator(WorkloadConfig(subsumption=0.6), seed=seed)
+    import random
+
+    rng = random.Random(seed)
+    trace = Trace(generator.schema)
+    subscriptions = []
+    for broker in range(5):
+        subscription = generator.subscription()
+        subscriptions.append(subscription)
+        trace.subscribe(broker, subscription)
+    trace.propagate()
+    for _ in range(4):
+        trace.publish(
+            rng.randrange(5), generator.matching_event(rng.choice(subscriptions))
+        )
+
+    def run_once():
+        system = SummaryPubSub(Topology.random_tree(5, seed=1), generator.schema)
+        result = replay(trace, system)
+        return (
+            result.deliveries,
+            result.event_hops,
+            sorted(result.delivered_pairs),
+            system.propagation_metrics.bytes_sent,
+        )
+
+    assert run_once() == run_once()

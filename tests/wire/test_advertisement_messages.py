@@ -1,0 +1,63 @@
+"""Wire coverage for the ADVERTISEMENT kind and publish ids."""
+
+import pytest
+
+from repro.model import IdCodec, SubscriptionId, parse_subscription
+from repro.wire.codec import ValueWidth, WireCodec
+from repro.wire.messages import (
+    AdvertisementMessage,
+    EventMessage,
+    MessageCodec,
+    MessageKind,
+    NotifyMessage,
+    SubscriptionBatchMessage,
+)
+
+
+@pytest.fixture
+def codec(schema):
+    return MessageCodec(WireCodec(schema, IdCodec(24, 1 << 20, 7), ValueWidth.F64))
+
+
+class TestAdvertisementMessage:
+    def test_roundtrip(self, codec, schema):
+        advertisement = parse_subscription(schema, "exchange = NYSE AND price < 100")
+        adv_id = SubscriptionId(broker=3, local_id=0, attr_mask=1)
+        message = AdvertisementMessage(entries=((adv_id, advertisement),))
+        decoded = codec.decode(codec.encode(message))
+        assert isinstance(decoded, AdvertisementMessage)
+        assert decoded.entries == ((adv_id, advertisement),)
+        assert len(decoded) == 1
+
+    def test_kind_distinct_from_subscription_batch(self, codec, schema):
+        advertisement = parse_subscription(schema, "price < 100")
+        sid = SubscriptionId(broker=0, local_id=0, attr_mask=1)
+        adv = codec.encode(AdvertisementMessage(entries=((sid, advertisement),)))
+        batch = codec.encode(SubscriptionBatchMessage(entries=((sid, advertisement),)))
+        assert adv[0] == int(MessageKind.ADVERTISEMENT)
+        assert batch[0] == int(MessageKind.SUBSCRIPTION_BATCH)
+        assert adv[1:] == batch[1:]  # same payload layout, different tag
+        assert isinstance(codec.decode(adv), AdvertisementMessage)
+        assert isinstance(codec.decode(batch), SubscriptionBatchMessage)
+
+
+class TestPublishIds:
+    def test_event_publish_id_roundtrip(self, codec, paper_event):
+        message = EventMessage(
+            event=paper_event, brocli=frozenset({1}), publish_id=(7 << 40) | 123
+        )
+        decoded = codec.decode(codec.encode(message))
+        assert decoded.publish_id == (7 << 40) | 123
+
+    def test_notify_publish_id_roundtrip(self, codec, paper_event):
+        message = NotifyMessage(
+            event=paper_event,
+            matched=frozenset({SubscriptionId(0, 1, 0b1011)}),
+            publish_id=42,
+        )
+        decoded = codec.decode(codec.encode(message))
+        assert decoded.publish_id == 42
+
+    def test_default_publish_id_is_zero(self, codec, paper_event):
+        message = EventMessage(event=paper_event, brocli=frozenset())
+        assert codec.decode(codec.encode(message)).publish_id == 0

@@ -1,0 +1,157 @@
+"""Wire codec round-trips and size accounting."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    AttributeType,
+    Event,
+    IdCodec,
+    SubscriptionId,
+    parse_subscription,
+    stock_schema,
+)
+from repro.summary import Precision, SubscriptionStore
+from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, WireCodec
+
+
+@pytest.fixture
+def wire(schema):
+    codec = IdCodec(num_brokers=24, max_subscriptions=1 << 20, num_attributes=7)
+    return WireCodec(schema, codec, ValueWidth.F64)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+    def test_varint_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.varint(value)
+        assert ByteReader(writer.getvalue()).varint() == value
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(CodecError):
+            ByteWriter().varint(-1)
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 1000, -132700, 2**40, -(2**40)])
+    def test_zigzag_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.zigzag(value)
+        assert ByteReader(writer.getvalue()).zigzag() == value
+
+    def test_string_roundtrip(self):
+        writer = ByteWriter()
+        writer.string("héllo •")
+        assert ByteReader(writer.getvalue()).string() == "héllo •"
+
+    def test_float_widths(self):
+        for width in ValueWidth:
+            writer = ByteWriter()
+            writer.float_value(8.5, width)
+            data = writer.getvalue()
+            assert len(data) == width.bytes
+            assert ByteReader(data).float_value(width) == 8.5
+
+    def test_infinity_survives_f32(self):
+        writer = ByteWriter()
+        writer.float_value(math.inf, ValueWidth.F32)
+        assert ByteReader(writer.getvalue()).float_value(ValueWidth.F32) == math.inf
+
+    def test_truncated_read_raises(self):
+        reader = ByteReader(b"\x01")
+        with pytest.raises(CodecError):
+            reader.raw(5)
+
+    def test_varint_too_long(self):
+        with pytest.raises(CodecError):
+            ByteReader(b"\xff" * 12).varint()
+
+
+class TestEventCodec:
+    def test_roundtrip(self, wire, paper_event):
+        assert wire.decode_event(wire.encode_event(paper_event)) == paper_event
+
+    def test_trailing_bytes_rejected(self, wire, paper_event):
+        with pytest.raises(CodecError):
+            wire.decode_event(wire.encode_event(paper_event) + b"\x00")
+
+    def test_integer_attributes_stay_int(self, wire):
+        event = Event.from_pairs([("volume", AttributeType.INTEGER, -5)])
+        decoded = wire.decode_event(wire.encode_event(event))
+        assert decoded.value("volume") == -5
+        assert decoded.type_of("volume") is AttributeType.INTEGER
+
+    def test_event_size(self, wire, paper_event):
+        assert wire.event_size(paper_event) == len(wire.encode_event(paper_event))
+
+
+class TestSubscriptionCodec:
+    def test_roundtrip(self, wire, paper_subscriptions):
+        for subscription in paper_subscriptions:
+            encoded = wire.encode_subscription(subscription)
+            assert wire.decode_subscription(encoded) == subscription
+
+    def test_average_size_close_to_paper(self, wire, paper_subscriptions):
+        """The paper assumes ~50-byte subscriptions; ours are in range."""
+        sizes = [wire.subscription_size(s) for s in paper_subscriptions]
+        assert all(15 < size < 90 for size in sizes)
+
+    def test_zero_constraints_rejected(self, wire):
+        with pytest.raises(CodecError):
+            wire.decode_subscription(b"\x00")
+
+
+class TestSummaryCodec:
+    @pytest.mark.parametrize("precision", [Precision.COARSE, Precision.EXACT])
+    def test_roundtrip_preserves_matching(
+        self, wire, schema, paper_subscriptions, paper_event, precision
+    ):
+        store = SubscriptionStore(schema, broker_id=0)
+        for subscription in paper_subscriptions:
+            store.subscribe(subscription)
+        summary = store.build_summary(precision)
+        decoded = wire.decode_summary(wire.encode_summary(summary))
+        assert decoded.precision is precision
+        assert decoded.match(paper_event) == summary.match(paper_event)
+        assert decoded.all_ids() == summary.all_ids()
+
+    def test_roundtrip_preserves_structure_counts(self, wire, paper_store):
+        summary = paper_store.build_summary(Precision.COARSE)
+        decoded = wire.decode_summary(wire.encode_summary(summary))
+        assert decoded.stats().as_dict() == summary.stats().as_dict()
+
+    def test_empty_summary(self, wire, schema):
+        from repro.summary import BrokerSummary
+
+        empty = BrokerSummary(schema)
+        decoded = wire.decode_summary(wire.encode_summary(empty))
+        assert decoded.is_empty
+
+    def test_f32_width_shrinks_summary(self, schema, paper_store):
+        id_codec = IdCodec(24, 1 << 20, 7)
+        summary = paper_store.build_summary()
+        wide = WireCodec(schema, id_codec, ValueWidth.F64).summary_size(summary)
+        narrow = WireCodec(schema, id_codec, ValueWidth.F32).summary_size(summary)
+        assert narrow < wide
+
+    def test_garbage_rejected(self, wire):
+        with pytest.raises(CodecError):
+            wire.decode_summary(b"\x07\x01\x09")
+
+
+class TestValidation:
+    def test_id_codec_schema_width_mismatch(self, schema):
+        with pytest.raises(CodecError):
+            WireCodec(schema, IdCodec(24, 1 << 20, 9))
+
+    def test_unknown_attribute_position(self, wire):
+        writer = ByteWriter()
+        writer.varint(1)
+        writer.varint(99)  # bad position
+        with pytest.raises(CodecError):
+            wire.decode_event(writer.getvalue())
+
+    def test_broker_set_roundtrip(self, wire):
+        brokers = {0, 5, 17, 23}
+        reader = ByteReader(wire.encode_broker_set(brokers))
+        assert wire.read_broker_set(reader) == brokers

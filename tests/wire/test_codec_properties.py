@@ -1,0 +1,85 @@
+"""Property tests: codec round-trips over generated workloads (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model import IdCodec, SubscriptionId
+from repro.summary import Precision, SubscriptionStore
+from repro.wire.codec import ByteReader, ByteWriter, ValueWidth, WireCodec
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+@given(st.integers(0, 2**62))
+def test_varint_roundtrip(value):
+    writer = ByteWriter()
+    writer.varint(value)
+    reader = ByteReader(writer.getvalue())
+    assert reader.varint() == value
+    assert reader.at_end()
+
+
+@given(st.integers(-(2**61), 2**61))
+def test_zigzag_roundtrip(value):
+    writer = ByteWriter()
+    writer.zigzag(value)
+    assert ByteReader(writer.getvalue()).zigzag() == value
+
+
+@given(st.text(max_size=64))
+def test_string_roundtrip(text):
+    writer = ByteWriter()
+    writer.string(text)
+    assert ByteReader(writer.getvalue()).string() == text
+
+
+@given(
+    broker=st.integers(0, 23),
+    local_id=st.integers(0, (1 << 20) - 1),
+    mask=st.integers(1, (1 << 10) - 1),
+)
+def test_id_roundtrip(broker, local_id, mask):
+    codec = IdCodec(num_brokers=24, max_subscriptions=1 << 20, num_attributes=10)
+    sid = SubscriptionId(broker=broker, local_id=local_id, attr_mask=mask)
+    assert codec.from_bytes(codec.to_bytes(sid)) == sid
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(1, 25),
+    subsumption=st.sampled_from([0.1, 0.5, 0.9]),
+    precision=st.sampled_from([Precision.COARSE, Precision.EXACT]),
+)
+def test_summary_roundtrip_preserves_matching(seed, count, subsumption, precision):
+    """Decoded summaries match every probe event exactly like the original.
+
+    F64 width is lossless, so this must hold with equality."""
+    config = WorkloadConfig(subsumption=subsumption)
+    generator = WorkloadGenerator(config, seed=seed)
+    store = SubscriptionStore(generator.schema, broker_id=0)
+    for subscription in generator.subscriptions(count):
+        store.subscribe(subscription)
+    summary = store.build_summary(precision)
+    wire = WireCodec(
+        generator.schema,
+        IdCodec(24, 1 << 20, len(generator.schema)),
+        ValueWidth.F64,
+    )
+    decoded = wire.decode_summary(wire.encode_summary(summary))
+    assert decoded.all_ids() == summary.all_ids()
+    for event in generator.events(10):
+        assert decoded.match(event) == summary.match(event)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_subscription_and_event_roundtrip(seed):
+    generator = WorkloadGenerator(WorkloadConfig(), seed=seed)
+    wire = WireCodec(
+        generator.schema,
+        IdCodec(24, 1 << 20, len(generator.schema)),
+        ValueWidth.F64,
+    )
+    for subscription in generator.subscriptions(5):
+        assert wire.decode_subscription(wire.encode_subscription(subscription)) == subscription
+    for event in generator.events(5):
+        assert wire.decode_event(wire.encode_event(event)) == event

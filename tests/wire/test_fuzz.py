@@ -1,0 +1,93 @@
+"""Decoder fuzzing: garbage in, CodecError out — never anything else.
+
+A broker feeds network bytes straight into these decoders; any exception
+other than :class:`CodecError` would be a crash vector.  Hypothesis throws
+random and mutated-valid byte strings at every public decode entry point.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import IdCodec, stock_schema
+from repro.wire.codec import CodecError, ValueWidth, WireCodec
+from repro.wire.messages import EventMessage, MessageCodec
+
+
+@pytest.fixture(scope="module")
+def wire():
+    return WireCodec(stock_schema(), IdCodec(24, 1 << 20, 7), ValueWidth.F64)
+
+
+@pytest.fixture(scope="module")
+def message_codec(wire):
+    return MessageCodec(wire)
+
+
+_GARBAGE = st.binary(max_size=64)
+
+
+@settings(max_examples=300)
+@given(data=_GARBAGE)
+def test_decode_event_never_crashes(wire, data):
+    try:
+        wire.decode_event(data)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=300)
+@given(data=_GARBAGE)
+def test_decode_subscription_never_crashes(wire, data):
+    try:
+        wire.decode_subscription(data)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=300)
+@given(data=_GARBAGE)
+def test_decode_summary_never_crashes(wire, data):
+    try:
+        wire.decode_summary(data)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=300)
+@given(data=_GARBAGE)
+def test_decode_message_never_crashes(message_codec, data):
+    try:
+        message_codec.decode(data)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=200)
+@given(flip=st.integers(0, 10_000), value=st.integers(0, 255))
+def test_mutated_valid_message_never_crashes(message_codec, flip, value):
+    """Bit-flipped real messages are the realistic corruption case."""
+    from repro.model import Event
+
+    valid = message_codec.encode(
+        EventMessage(
+            event=Event.of(symbol="OTE", price=8.4),
+            brocli=frozenset({1, 2}),
+            publish_id=7,
+        )
+    )
+    position = flip % len(valid)
+    mutated = valid[:position] + bytes([value]) + valid[position + 1:]
+    try:
+        message_codec.decode(mutated)
+    except CodecError:
+        pass
+
+
+def test_valid_data_still_decodes(wire, message_codec):
+    """The guard must not swallow success paths."""
+    from repro.model import Event
+
+    event = Event.of(symbol="OTE", price=8.4)
+    assert wire.decode_event(wire.encode_event(event)) == event
+    message = EventMessage(event=event, brocli=frozenset(), publish_id=1)
+    assert message_codec.decode(message_codec.encode(message)) == message

@@ -1,0 +1,95 @@
+"""Message codec round-trips for all four message kinds."""
+
+import pytest
+
+from repro.model import IdCodec, SubscriptionId
+from repro.summary import Precision
+from repro.wire.codec import CodecError, ValueWidth, WireCodec
+from repro.wire.messages import (
+    EventMessage,
+    MessageCodec,
+    NotifyMessage,
+    SubscriptionBatchMessage,
+    SummaryMessage,
+)
+
+
+@pytest.fixture
+def codec(schema):
+    wire = WireCodec(schema, IdCodec(24, 1 << 20, 7), ValueWidth.F64)
+    return MessageCodec(wire)
+
+
+def _sid(n: int, mask: int = 0b1011) -> SubscriptionId:
+    return SubscriptionId(broker=0, local_id=n, attr_mask=mask)
+
+
+class TestSummaryMessage:
+    def test_roundtrip(self, codec, paper_store, paper_event):
+        summary = paper_store.build_summary(Precision.COARSE)
+        message = SummaryMessage(summary=summary, merged_brokers=frozenset({0, 3, 7}))
+        decoded = codec.decode(codec.encode(message))
+        assert isinstance(decoded, SummaryMessage)
+        assert decoded.merged_brokers == {0, 3, 7}
+        assert decoded.summary.match(paper_event) == summary.match(paper_event)
+
+    def test_size_grows_with_content(self, codec, schema, paper_store):
+        from repro.summary import BrokerSummary
+
+        empty = SummaryMessage(BrokerSummary(schema), frozenset({0}))
+        full = SummaryMessage(paper_store.build_summary(), frozenset({0}))
+        assert codec.size(full) > codec.size(empty)
+
+
+class TestSubscriptionBatchMessage:
+    def test_roundtrip(self, codec, paper_subscriptions):
+        entries = tuple(
+            (_sid(i, mask=11 if i == 0 else 90), s)
+            for i, s in enumerate(paper_subscriptions)
+        )
+        message = SubscriptionBatchMessage(entries=entries)
+        decoded = codec.decode(codec.encode(message))
+        assert isinstance(decoded, SubscriptionBatchMessage)
+        assert decoded.entries == entries
+        assert len(decoded) == 2
+
+    def test_empty_batch(self, codec):
+        message = SubscriptionBatchMessage(entries=())
+        decoded = codec.decode(codec.encode(message))
+        assert decoded.entries == ()
+
+
+class TestEventMessage:
+    def test_roundtrip(self, codec, paper_event):
+        message = EventMessage(event=paper_event, brocli=frozenset({1, 2, 3}))
+        decoded = codec.decode(codec.encode(message))
+        assert isinstance(decoded, EventMessage)
+        assert decoded.event == paper_event
+        assert decoded.brocli == {1, 2, 3}
+
+    def test_brocli_grows_size(self, codec, paper_event):
+        small = EventMessage(paper_event, frozenset())
+        big = EventMessage(paper_event, frozenset(range(24)))
+        assert codec.size(big) > codec.size(small)
+
+
+class TestNotifyMessage:
+    def test_roundtrip(self, codec, paper_event):
+        message = NotifyMessage(
+            event=paper_event, matched=frozenset({_sid(1), _sid(2)})
+        )
+        decoded = codec.decode(codec.encode(message))
+        assert isinstance(decoded, NotifyMessage)
+        assert decoded.matched == {_sid(1), _sid(2)}
+        assert decoded.event == paper_event
+
+
+class TestErrors:
+    def test_unknown_kind(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(b"\x9f\x00")
+
+    def test_trailing_bytes(self, codec, paper_event):
+        data = codec.encode(EventMessage(paper_event, frozenset()))
+        with pytest.raises(CodecError):
+            codec.decode(data + b"!")

@@ -1,0 +1,68 @@
+"""Table-2 configuration invariants."""
+
+import pytest
+
+from repro.workload.config import (
+    TABLE2_POPULARITIES,
+    TABLE2_SIGMAS,
+    TABLE2_SUBSUMPTIONS,
+    WorkloadConfig,
+)
+
+
+class TestDefaults:
+    def test_table2_values(self):
+        config = WorkloadConfig()
+        assert config.nt == 10
+        assert config.outstanding == 1000
+        assert config.nsr == 2
+        assert config.sst == 4 and config.sid == 4
+        assert config.ssv == 10
+        assert config.subscription_size == 50
+
+    def test_sweep_constants(self):
+        assert TABLE2_SIGMAS[0] == 10 and TABLE2_SIGMAS[-1] == 1000
+        assert TABLE2_SUBSUMPTIONS == (0.1, 0.25, 0.5, 0.75, 0.9)
+        assert TABLE2_POPULARITIES == (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+class TestDerived:
+    def test_average_subscription_has_half_the_attributes(self):
+        config = WorkloadConfig(nt=10)
+        assert config.attributes_per_subscription == 5
+
+    def test_forty_sixty_split(self):
+        config = WorkloadConfig(nt=10)
+        assert config.num_arithmetic_attributes == 4
+        assert config.num_string_attributes == 6
+        assert config.nas == 2
+        assert config.nss == 3
+
+    def test_split_for_other_sizes(self):
+        config = WorkloadConfig(nt=20)
+        assert config.num_arithmetic_attributes == 8
+        assert config.nas + config.nss == config.attributes_per_subscription
+
+    def test_with_overrides(self):
+        config = WorkloadConfig().with_overrides(sigma=500, subsumption=0.9)
+        assert config.sigma == 500
+        assert config.subsumption == 0.9
+        assert config.nt == 10  # untouched
+
+
+class TestValidation:
+    def test_subsumption_range(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(subsumption=1.1)
+
+    def test_tiny_schema_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(nt=1)
+
+    def test_arithmetic_fraction_range(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arithmetic_fraction=0.0)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(sigma=0)

@@ -1,0 +1,149 @@
+"""The Table-2 synthetic workload generator."""
+
+import pytest
+
+from repro.model import AttributeType, Operator
+from repro.summary import Precision, SubscriptionStore
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestSchema:
+    def test_schema_split(self):
+        generator = WorkloadGenerator(WorkloadConfig(nt=10))
+        schema = generator.schema
+        assert len(schema) == 10
+        assert len(schema.arithmetic_names()) == 4
+        assert len(schema.string_names()) == 6
+
+    def test_deterministic_under_seed(self):
+        a = WorkloadGenerator(WorkloadConfig(), seed=5)
+        b = WorkloadGenerator(WorkloadConfig(), seed=5)
+        assert a.subscriptions(10) == b.subscriptions(10)
+        assert a.events(10) == b.events(10)
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(WorkloadConfig(), seed=1)
+        b = WorkloadGenerator(WorkloadConfig(), seed=2)
+        assert a.subscriptions(10) != b.subscriptions(10)
+
+
+class TestSubscriptionShape:
+    def test_attribute_counts(self):
+        config = WorkloadConfig()
+        generator = WorkloadGenerator(config, seed=0)
+        for subscription in generator.subscriptions(50):
+            names = subscription.attribute_names
+            arithmetic = [n for n in names if n.startswith("num")]
+            strings = [n for n in names if n.startswith("str")]
+            assert len(arithmetic) == config.nas
+            assert len(strings) == config.nss
+
+    def test_schema_conformance(self):
+        generator = WorkloadGenerator(WorkloadConfig(), seed=0)
+        for subscription in generator.subscriptions(50):
+            generator.schema.validate_subscription(subscription)
+
+    def test_subsumed_arithmetic_lands_in_canonical_ranges(self):
+        config = WorkloadConfig(subsumption=1.0)
+        generator = WorkloadGenerator(config, seed=0)
+        for subscription in generator.subscriptions(30):
+            for name in subscription.attribute_names:
+                if not name.startswith("num"):
+                    continue
+                constraints = subscription.constraints_on(name)
+                assert {c.operator for c in constraints} == {Operator.GT, Operator.LT}
+                attr_index = int(name[3:])
+                bounds = sorted(c.value for c in constraints)
+                candidates = [
+                    generator.canonical_range(attr_index, j)
+                    for j in range(config.nsr)
+                ]
+                assert any(lo <= bounds[0] and bounds[1] <= hi for lo, hi in candidates)
+
+    def test_unsubsumed_arithmetic_is_unique_equalities(self):
+        config = WorkloadConfig(subsumption=0.0)
+        generator = WorkloadGenerator(config, seed=0)
+        values = set()
+        for subscription in generator.subscriptions(30):
+            for constraint in subscription:
+                if constraint.name.startswith("num"):
+                    assert constraint.operator is Operator.EQ
+                    values.add(constraint.value)
+        assert len(values) >= 55  # essentially all distinct
+
+
+class TestSummaryCompaction:
+    def test_high_subsumption_compacts_summaries(self):
+        """The whole point of the knob: q=0.9 summaries are far smaller in
+        row count than q=0.1 for the same subscription count."""
+        def rows(subsumption):
+            config = WorkloadConfig(subsumption=subsumption)
+            generator = WorkloadGenerator(config, seed=7)
+            store = SubscriptionStore(generator.schema, 0)
+            for subscription in generator.subscriptions(200):
+                store.subscribe(subscription)
+            stats = store.build_summary(Precision.COARSE).stats()
+            return stats.n_sr + stats.n_e + stats.n_r
+
+        assert rows(0.9) < rows(0.1) / 3
+
+    def test_canonical_ranges_bound_nsr(self):
+        config = WorkloadConfig(subsumption=1.0)
+        generator = WorkloadGenerator(config, seed=3)
+        store = SubscriptionStore(generator.schema, 0)
+        for subscription in generator.subscriptions(100):
+            store.subscribe(subscription)
+        summary = store.build_summary(Precision.COARSE)
+        for name in generator.schema.arithmetic_names():
+            structure = summary.aacs(name)
+            if structure is not None:
+                assert structure.n_sr <= config.nsr
+
+
+class TestEvents:
+    def test_event_shape(self):
+        config = WorkloadConfig()
+        generator = WorkloadGenerator(config, seed=0)
+        for event in generator.events(30):
+            generator.schema.validate_event(event)
+            assert len(event) == config.attributes_per_subscription
+
+    def test_matching_event_always_matches(self):
+        for subsumption in (0.0, 0.5, 1.0):
+            generator = WorkloadGenerator(
+                WorkloadConfig(subsumption=subsumption), seed=1
+            )
+            for subscription in generator.subscriptions(40):
+                event = generator.matching_event(subscription)
+                assert subscription.matches(event)
+                generator.schema.validate_event(event)
+
+    def test_matching_event_includes_extra_attribute(self):
+        generator = WorkloadGenerator(WorkloadConfig(), seed=1)
+        subscription = generator.subscription()
+        event = generator.matching_event(subscription)
+        assert len(event) == len(subscription.attribute_names) + 1
+
+    def test_stream_is_lazy_and_endless(self):
+        generator = WorkloadGenerator(WorkloadConfig(), seed=0)
+        stream = generator.stream()
+        first = [next(stream) for _ in range(5)]
+        assert len(first) == 5
+
+
+class TestSubscriptionSize:
+    def test_average_encoded_size_near_50_bytes(self):
+        """Table 2: 'The average size of a subscription/event is 50 bytes'."""
+        from repro.model import IdCodec
+        from repro.wire.codec import ValueWidth, WireCodec
+
+        config = WorkloadConfig()
+        generator = WorkloadGenerator(config, seed=0)
+        wire = WireCodec(
+            generator.schema,
+            IdCodec(24, 1 << 20, len(generator.schema)),
+            ValueWidth.F32,
+        )
+        sizes = [wire.subscription_size(s) for s in generator.subscriptions(200)]
+        average = sum(sizes) / len(sizes)
+        assert 35 <= average <= 65

@@ -1,0 +1,66 @@
+"""Popularity probes: events matching exactly a chosen broker set."""
+
+import pytest
+
+from repro.workload.popularity import (
+    draw_matched_sets,
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+class TestProbeMatching:
+    def test_event_matches_exactly_chosen_set(self):
+        probes = {b: probe_subscription(b) for b in range(24)}
+        event = popularity_event({3, 7, 12})
+        matching = {b for b, p in probes.items() if p.matches(event)}
+        assert matching == {3, 7, 12}
+
+    def test_no_numeric_prefix_ambiguity(self):
+        """Marker @1@ must not fire inside @12@ or @21@."""
+        probes = {b: probe_subscription(b) for b in (1, 2, 12, 21)}
+        event = popularity_event({12, 21})
+        matching = {b for b, p in probes.items() if p.matches(event)}
+        assert matching == {12, 21}
+
+    def test_empty_set_matches_nothing(self):
+        probes = {b: probe_subscription(b) for b in range(10)}
+        event = popularity_event(set())
+        assert not any(p.matches(event) for p in probes.values())
+
+    def test_full_set(self):
+        brokers = set(range(24))
+        event = popularity_event(brokers)
+        assert all(probe_subscription(b).matches(event) for b in brokers)
+
+    def test_schema_validates_probe_artifacts(self):
+        schema = popularity_schema()
+        schema.validate_subscription(probe_subscription(0))
+        schema.validate_event(popularity_event({0, 1}))
+
+
+class TestDrawMatchedSets:
+    def test_sizes(self):
+        sets = draw_matched_sets(24, popularity=0.25, count=50, seed=1)
+        assert len(sets) == 50
+        assert all(len(s) == 6 for s in sets)
+
+    def test_minimum_one(self):
+        sets = draw_matched_sets(24, popularity=0.01, count=5, seed=1)
+        assert all(len(s) == 1 for s in sets)
+
+    def test_members_in_range(self):
+        for matched in draw_matched_sets(10, 0.5, 20, seed=2):
+            assert matched <= set(range(10))
+
+    def test_deterministic(self):
+        assert draw_matched_sets(24, 0.5, 10, seed=9) == draw_matched_sets(
+            24, 0.5, 10, seed=9
+        )
+
+    def test_invalid_popularity(self):
+        with pytest.raises(ValueError):
+            draw_matched_sets(24, 0.0, 1)
+        with pytest.raises(ValueError):
+            draw_matched_sets(24, 1.5, 1)

@@ -1,0 +1,60 @@
+"""The stock-ticker workload used by examples."""
+
+from repro.workload.stocks import DEFAULT_SYMBOLS, StockWorkload
+
+
+class TestSubscriptions:
+    def test_conform_to_stock_schema(self):
+        workload = StockWorkload(seed=1)
+        for subscription in workload.subscriptions(40):
+            workload.schema.validate_subscription(subscription)
+
+    def test_templates_all_appear(self):
+        workload = StockWorkload(seed=1)
+        attribute_sets = {
+            frozenset(s.attribute_names) for s in workload.subscriptions(60)
+        }
+        assert len(attribute_sets) >= 3  # several distinct interest shapes
+
+    def test_deterministic(self):
+        assert StockWorkload(seed=3).subscriptions(10) == StockWorkload(
+            seed=3
+        ).subscriptions(10)
+
+
+class TestTicks:
+    def test_conform_to_schema(self):
+        workload = StockWorkload(seed=1)
+        for event in workload.ticks(40):
+            workload.schema.validate_event(event)
+
+    def test_full_event_shape(self):
+        event = StockWorkload(seed=1).tick()
+        assert set(event.names) == {
+            "exchange", "symbol", "when", "price", "volume", "high", "low",
+        }
+
+    def test_prices_positive_and_bands_ordered(self):
+        workload = StockWorkload(seed=2)
+        for event in workload.ticks(60):
+            assert event.value("price") > 0
+            assert event.value("low") <= event.value("price") <= event.value("high")
+
+    def test_clock_advances(self):
+        workload = StockWorkload(seed=2)
+        times = [event.value("when") for event in workload.ticks(10)]
+        assert times == sorted(times)
+        assert len(set(times)) == 10
+
+    def test_symbols_from_universe(self):
+        workload = StockWorkload(seed=4)
+        for event in workload.ticks(30):
+            assert event.value("symbol") in DEFAULT_SYMBOLS
+
+    def test_subscriptions_eventually_match_feed(self):
+        workload = StockWorkload(seed=5)
+        subs = workload.subscriptions(50)
+        hits = sum(
+            1 for event in workload.ticks(200) for s in subs if s.matches(event)
+        )
+        assert hits > 0
