@@ -4,12 +4,23 @@ Benchmarks Algorithm-1 matching against the subscription-centric baseline
 at several table sizes.  The paper's claims: same O(N) complexity, but the
 summary matcher's constants are better ("we expect that event filtering
 and matching will be faster in our paradigm").
+
+Three engines are timed side by side so the bench trajectory captures the
+whole ladder:
+
+* ``naive``     — per-subscription evaluation (the competing paradigm),
+* ``summary``   — the reference Algorithm-1 walk over live AACS/SACS,
+* ``compiled``  — the flat :class:`~repro.summary.compiled.CompiledMatcher`
+  snapshot (the production fast path; must be >= 3x the reference at 10k
+  subscriptions, asserted in :func:`test_compiled_speedup_claim`).
 """
+
+import time
 
 import pytest
 
 from repro.model.ids import SubscriptionId
-from repro.summary import BrokerSummary, NaiveMatcher, Precision
+from repro.summary import BrokerSummary, CompiledMatcher, NaiveMatcher, Precision
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
 SIZES = [200, 1000, 4000]
@@ -44,6 +55,23 @@ def test_summary_matching(benchmark, size):
 
 
 @pytest.mark.parametrize("size", SIZES)
+def test_compiled_matching(benchmark, size):
+    summary, _naive, events = _build(size)
+    compiled = CompiledMatcher(summary)
+    compiled.refresh()  # compile outside the timed region
+    state = {"i": 0}
+
+    def match_next():
+        event = events[state["i"] % len(events)]
+        state["i"] += 1
+        return compiled.match(event)
+
+    benchmark(match_next)
+    benchmark.extra_info["subscriptions"] = size
+    benchmark.extra_info["matcher"] = "compiled (flat snapshot)"
+
+
+@pytest.mark.parametrize("size", SIZES)
 def test_naive_matching(benchmark, size):
     _summary, naive, events = _build(size)
     state = {"i": 0}
@@ -60,8 +88,6 @@ def test_naive_matching(benchmark, size):
 
 def test_speedup_claim(benchmark):
     """One combined measurement asserting the constant-factor claim."""
-    import time
-
     summary, naive, events = _build(2000)
 
     def measure():
@@ -79,3 +105,44 @@ def test_speedup_claim(benchmark):
     speedup = naive_seconds / summary_seconds
     benchmark.extra_info["speedup_naive_over_summary"] = round(speedup, 2)
     assert speedup > 1.0
+
+
+def test_compiled_speedup_claim(benchmark):
+    """The compiled fast path must be >= 3x the reference matcher at 10k
+    subscriptions (PR acceptance criterion); throughput for all three
+    engines lands in the bench trajectory via extra_info."""
+    size = 10_000
+    summary, naive, events = _build(size)
+    compiled = CompiledMatcher(summary)
+    compiled.refresh()  # compile once, outside the timed region
+    for event in events[:8]:  # differential sanity before timing
+        assert compiled.match(event) == summary.match(event)
+
+    def measure():
+        start = time.perf_counter()
+        for event in events:
+            compiled.match(event)
+        compiled_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for event in events:
+            summary.match(event)
+        reference_seconds = time.perf_counter() - start
+        return compiled_seconds, reference_seconds
+
+    compiled_seconds, reference_seconds = benchmark.pedantic(measure, rounds=3)
+    start = time.perf_counter()
+    for event in events:
+        naive.match(event)
+    naive_seconds = time.perf_counter() - start
+
+    n = len(events)
+    speedup = reference_seconds / compiled_seconds
+    benchmark.extra_info["subscriptions"] = size
+    benchmark.extra_info["compiled_events_per_sec"] = round(n / compiled_seconds)
+    benchmark.extra_info["reference_events_per_sec"] = round(n / reference_seconds)
+    benchmark.extra_info["naive_events_per_sec"] = round(n / naive_seconds)
+    benchmark.extra_info["speedup_compiled_over_reference"] = round(speedup, 2)
+    assert speedup >= 3.0, (
+        f"compiled matcher is only {speedup:.2f}x the reference at "
+        f"{size} subscriptions (need >= 3x)"
+    )

@@ -45,6 +45,7 @@ from repro.summary import (
     AACS,
     SACS,
     BrokerSummary,
+    CompiledMatcher,
     MaintainedSummary,
     NaiveMatcher,
     Precision,
@@ -61,6 +62,7 @@ __all__ = [
     "AttributeType",
     "BroadcastPubSub",
     "BrokerSummary",
+    "CompiledMatcher",
     "Consumer",
     "Constraint",
     "Delivery",

@@ -25,11 +25,19 @@ from repro.model.events import Event
 from repro.model.ids import SubscriptionId
 from repro.model.schema import Schema
 from repro.model.subscriptions import Subscription
+from repro.summary.compiled import CompiledMatcher
 from repro.summary.maintenance import SubscriptionStore
 from repro.summary.precision import Precision
 from repro.summary.summary import BrokerSummary
 
-__all__ = ["SummaryBroker", "DeliveryCallback"]
+__all__ = ["SummaryBroker", "DeliveryCallback", "MATCHERS"]
+
+#: Valid values for the ``matcher`` option: ``"reference"`` walks the live
+#: summary structures (Algorithm 1 exactly as the paper states it; the
+#: default, used by all figure-reproduction code), ``"compiled"`` matches
+#: against a flat :class:`~repro.summary.compiled.CompiledMatcher` snapshot
+#: that self-invalidates on summary mutation (the production fast path).
+MATCHERS = ("reference", "compiled")
 
 #: Called when an event is delivered to a subscription's consumer:
 #: ``(broker_id, subscription_id, event)``.
@@ -45,12 +53,21 @@ class SummaryBroker:
         schema: Schema,
         precision: Precision = Precision.COARSE,
         on_delivery: Optional[DeliveryCallback] = None,
+        matcher: str = "reference",
     ):
+        if matcher not in MATCHERS:
+            raise ValueError(
+                f"unknown matcher {matcher!r}; expected one of {MATCHERS}"
+            )
         self.broker_id = broker_id
         self.schema = schema
         self.precision = precision
+        self.matcher = matcher
         self.store = SubscriptionStore(schema, broker_id)
         self.on_delivery = on_delivery
+        #: Lazily (re)built compiled snapshot of ``kept_summary`` when the
+        #: ``"compiled"`` matcher is selected.
+        self._compiled: Optional[CompiledMatcher] = None
 
         #: Subscriptions accepted since the last propagation period.
         self.pending: List[Tuple[SubscriptionId, Subscription]] = []
@@ -161,8 +178,24 @@ class SummaryBroker:
             table.popitem(last=False)
 
     def match_kept(self, event: Event) -> Set[SubscriptionId]:
-        """Match an event against the kept multi-broker summary."""
+        """Match an event against the kept multi-broker summary.
+
+        With ``matcher="compiled"`` this goes through a flat
+        :class:`CompiledMatcher` snapshot of the kept summary; the snapshot
+        tracks the summary's generation counter, so mutations from
+        propagation periods (``merge``), subscriptions (``add``) and
+        unsubscriptions (``remove``) transparently trigger a lazy rebuild.
+        Both paths return identical id sets (see
+        ``tests/summary/test_compiled_differential.py``).
+        """
         self.events_examined += 1
+        if self.matcher == "compiled":
+            compiled = self._compiled
+            if compiled is None or compiled.summary is not self.kept_summary:
+                # ``reset_merged_state`` swaps in a brand-new summary object;
+                # rebind the snapshot to whatever is current.
+                compiled = self._compiled = CompiledMatcher(self.kept_summary)
+            return compiled.match(event)
         return self.kept_summary.match(event)
 
     def deliver(

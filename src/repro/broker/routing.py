@@ -15,6 +15,14 @@ Matched ids whose owner is already in the *incoming* BROCLI are skipped:
 that owner's subscriptions were examined (and notified) by an earlier hop,
 so re-notifying would deliver duplicates when visited brokers have
 overlapping knowledge.
+
+Step 1's summary check goes through :meth:`SummaryBroker.match_kept`, which
+dispatches to the broker's configured matching engine — the reference
+Algorithm-1 walk or the compiled fast path
+(:class:`repro.summary.compiled.CompiledMatcher`).  Both return identical
+id sets, so every routing decision (owner notifications, BROCLI forwarding
+targets, hop counts) is matcher-independent; this is asserted end-to-end by
+``tests/broker/test_routing.py::TestCompiledMatcherParity``.
 """
 
 from __future__ import annotations
@@ -84,7 +92,8 @@ class EventRouter:
         # for this publish (a redelivered EVENT message).
         if not broker.first_routing_of(publish_id):
             return
-        # Step 1: check the local merged summary.
+        # Step 1: check the local merged summary (reference walk or
+        # compiled snapshot, per the broker's matcher option).
         matched = broker.match_kept(event)
         # Step 2: update BROCLI with this broker's Merged_Brokers (which
         # includes its own id).

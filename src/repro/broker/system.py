@@ -98,10 +98,14 @@ class SummaryPubSub:
         latency: Optional[LatencyModel] = None,
         network_cls: Optional[type] = None,
         network_options: Optional[Dict] = None,
+        matcher: str = "reference",
     ):
         self.topology = topology
         self.schema = schema
         self.precision = precision
+        #: Event-matching engine: "reference" (live summary walk, paper
+        #: semantics, the default) or "compiled" (flat snapshot fast path).
+        self.matcher = matcher
         self.id_codec = IdCodec(
             num_brokers=topology.num_brokers,
             max_subscriptions=max_subscriptions,
@@ -144,7 +148,11 @@ class SummaryPubSub:
     def _create_broker(self, broker_id: int) -> SummaryBroker:
         """Broker factory — extension systems override this hook."""
         return SummaryBroker(
-            broker_id, self.schema, self.precision, on_delivery=self._record_delivery
+            broker_id,
+            self.schema,
+            self.precision,
+            on_delivery=self._record_delivery,
+            matcher=self.matcher,
         )
 
     # -- client operations -------------------------------------------------------

@@ -180,7 +180,11 @@ class AdvertisingPubSub(SummaryPubSub):
 
     def _create_broker(self, broker_id: int) -> SummaryBroker:
         return AdvertisingBroker(
-            broker_id, self.schema, self.precision, on_delivery=self._record_delivery
+            broker_id,
+            self.schema,
+            self.precision,
+            on_delivery=self._record_delivery,
+            matcher=self.matcher,
         )
 
     # -- producer operations ------------------------------------------------------

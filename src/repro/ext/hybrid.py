@@ -115,7 +115,11 @@ class HybridPubSub(SummaryPubSub):
 
     def _create_broker(self, broker_id: int) -> SummaryBroker:
         return HybridBroker(
-            broker_id, self.schema, self.precision, on_delivery=self._record_delivery
+            broker_id,
+            self.schema,
+            self.precision,
+            on_delivery=self._record_delivery,
+            matcher=self.matcher,
         )
 
     def total_suppressed(self) -> int:

@@ -6,6 +6,7 @@ maintenance layer (stores, rebuilds, exact re-check).
 """
 
 from repro.summary.aacs import AACS, RangeRow
+from repro.summary.compiled import CompiledMatcher, CompiledStats
 from repro.summary.intervals import (
     FULL_LINE,
     Interval,
@@ -37,6 +38,8 @@ __all__ = [
     "AACS",
     "FULL_LINE",
     "BrokerSummary",
+    "CompiledMatcher",
+    "CompiledStats",
     "ConjunctionPattern",
     "GlobPattern",
     "Interval",

@@ -58,15 +58,28 @@ class SummaryStats:
 
 
 class BrokerSummary:
-    """Summarized subscriptions of one broker (or of a merged broker set)."""
+    """Summarized subscriptions of one broker (or of a merged broker set).
 
-    __slots__ = ("schema", "precision", "_aacs", "_sacs")
+    Every mutating operation (:meth:`add`, :meth:`remove`, :meth:`merge`)
+    bumps :attr:`generation`, which lets compiled snapshots
+    (:class:`repro.summary.compiled.CompiledMatcher`) detect staleness and
+    lazily rebuild without the summary having to know about them.
+    """
+
+    __slots__ = ("schema", "precision", "_aacs", "_sacs", "_generation")
 
     def __init__(self, schema: Schema, precision: Precision = Precision.COARSE):
         self.schema = schema
         self.precision = precision
         self._aacs: Dict[str, AACS] = {}
         self._sacs: Dict[str, SACS] = {}
+        #: Monotonic mutation counter; compiled snapshots key off it.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every mutation (add/remove/merge)."""
+        return self._generation
 
     # -- insertion (dissolve a subscription) -----------------------------------
 
@@ -89,6 +102,7 @@ class BrokerSummary:
                 self._add_string(name, constraints, sid)
             else:
                 self._add_arithmetic(name, constraints, sid)
+        self._generation += 1
 
     def _add_arithmetic(self, name: str, constraints, sid: SubscriptionId) -> None:
         values = intervals_for_conjunction(constraints)
@@ -131,9 +145,24 @@ class BrokerSummary:
 
     def collect_attribute_ids(self, name: str, value) -> Set[SubscriptionId]:
         """Step 1 of Algorithm 1 for one event attribute: the id lists whose
-        summarized constraint on ``name`` is satisfied by ``value``."""
+        summarized constraint on ``name`` is satisfied by ``value``.
+
+        An attribute name no summarized subscription constrains (absent from
+        both the AACS and SACS maps) contributes nothing — events may carry
+        more attributes than any subscription mentions.  An arithmetic
+        attribute whose event value is not numeric raises a clear
+        :class:`~repro.model.schema.SchemaError` instead of a bare
+        ``ValueError``/``TypeError`` from ``float()``.
+        """
         if name in self._aacs:
-            return self._aacs[name].match(float(value))
+            try:
+                numeric = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"event value {value!r} for arithmetic attribute {name!r} "
+                    f"is not numeric"
+                ) from exc
+            return self._aacs[name].match(numeric)
         if name in self._sacs:
             return self._sacs[name].match(value)
         return set()
@@ -153,6 +182,8 @@ class BrokerSummary:
                 found = True
             if self._sacs[name].is_empty:
                 del self._sacs[name]
+        if found:
+            self._generation += 1
         return found
 
     def merge(self, other: "BrokerSummary") -> None:
@@ -165,6 +196,7 @@ class BrokerSummary:
             self._aacs_for(name).merge(structure)
         for name, structure in other._sacs.items():
             self._sacs_for(name).merge(structure)
+        self._generation += 1
 
     def copy(self) -> "BrokerSummary":
         clone = BrokerSummary(self.schema, self.precision)

@@ -6,14 +6,17 @@ from repro.broker.propagation import TargetPolicy
 from repro.broker.system import SummaryPubSub
 from repro.network import Topology, cable_wireless_24, paper_example_tree
 from repro.workload.popularity import (
+    draw_matched_sets,
     popularity_event,
     popularity_schema,
     probe_subscription,
 )
 
 
-def probe_system(topology, policy=TargetPolicy.SMALLEST_DEGREE):
-    system = SummaryPubSub(topology, popularity_schema(), propagation_policy=policy)
+def probe_system(topology, policy=TargetPolicy.SMALLEST_DEGREE, **kwargs):
+    system = SummaryPubSub(
+        topology, popularity_schema(), propagation_policy=policy, **kwargs
+    )
     sids = {}
     for broker_id in topology.brokers:
         sids[broker_id] = system.subscribe(broker_id, probe_subscription(broker_id))
@@ -104,6 +107,85 @@ class TestCorrectness:
         small = system.publish(0, popularity_event({1, 2}))
         big = system.publish(0, popularity_event(set(range(1, 20))))
         assert big.hops > small.hops
+
+
+class TestCompiledMatcherParity:
+    """matcher="compiled" must be routing-invisible: identical deliveries,
+    identical BROCLI forwarding chains, identical hop/message costs."""
+
+    @staticmethod
+    def _spy_forwards(system):
+        hops = []
+        original = system.router._next_router
+
+        def spy(brocli, origin):
+            choice = original(brocli, origin)
+            hops.append((origin, choice))
+            return choice
+
+        system.router._next_router = spy
+        return hops
+
+    def test_cable_wireless_24_same_forwarding_decisions(self):
+        """The fig10 scenario on the 24-node C&W backbone: every publish
+        makes the exact same event->broker forwarding decisions under the
+        compiled matcher as under the reference matcher."""
+        reference, ref_sids = probe_system(cable_wireless_24())
+        compiled, cmp_sids = probe_system(cable_wireless_24(), matcher="compiled")
+        assert ref_sids == cmp_sids
+        ref_forwards = self._spy_forwards(reference)
+        cmp_forwards = self._spy_forwards(compiled)
+
+        matched_sets = draw_matched_sets(24, popularity=0.25, count=12, seed=7)
+        matched_sets += draw_matched_sets(24, popularity=0.75, count=6, seed=8)
+        for publisher, matched in enumerate(matched_sets):
+            event = popularity_event(matched)
+            ref_out = reference.publish(publisher % 24, event)
+            cmp_out = compiled.publish(publisher % 24, event)
+            ref_deliveries = {(d.broker, d.sid) for d in ref_out.deliveries}
+            cmp_deliveries = {(d.broker, d.sid) for d in cmp_out.deliveries}
+            assert cmp_deliveries == ref_deliveries
+            assert cmp_deliveries == {(b, ref_sids[b]) for b in matched}
+            assert cmp_out.hops == ref_out.hops
+            assert cmp_out.messages == ref_out.messages
+            assert cmp_forwards == ref_forwards  # identical BROCLI chains
+
+    def test_compiled_path_is_actually_exercised(self):
+        system, sids = probe_system(cable_wireless_24(), matcher="compiled")
+        outcome = system.publish(0, popularity_event({5, 9}))
+        assert outcome.matched_brokers == {5, 9}
+        exercised = [
+            broker
+            for broker in system.brokers.values()
+            if broker._compiled is not None and broker._compiled.generation >= 0
+        ]
+        assert exercised, "no broker built a compiled snapshot"
+        assert all(broker.matcher == "compiled" for broker in system.brokers.values())
+
+    def test_compiled_survives_churn_and_new_periods(self, figure7_tree):
+        """Unsubscribe + a fresh propagation period mutate kept summaries;
+        compiled snapshots must keep agreeing with a reference system run
+        through the exact same script."""
+        reference, ref_sids = probe_system(figure7_tree)
+        compiled, cmp_sids = probe_system(figure7_tree, matcher="compiled")
+        event = popularity_event({3, 7, 12})
+        assert (
+            {(d.broker, d.sid) for d in compiled.publish(0, event).deliveries}
+            == {(d.broker, d.sid) for d in reference.publish(0, event).deliveries}
+        )
+        for system, sids in ((reference, ref_sids), (compiled, cmp_sids)):
+            system.unsubscribe(7, sids[7])
+            system.subscribe(5, probe_subscription(5))
+            system.run_propagation_period()
+        for matched in ({3, 7, 12}, {5}, set(), {12}):
+            event = popularity_event(matched)
+            ref_out = reference.publish(1, event)
+            cmp_out = compiled.publish(1, event)
+            assert (
+                {(d.broker, d.sid) for d in cmp_out.deliveries}
+                == {(d.broker, d.sid) for d in ref_out.deliveries}
+            )
+            assert cmp_out.hops == ref_out.hops
 
 
 class TestAcrossTopologies:

@@ -8,6 +8,7 @@ any event,
   exactness.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.model.ids import SubscriptionId
@@ -91,3 +92,49 @@ def test_match_details_candidates_and_partials(paper_store, paper_event):
     assert details.matched <= details.candidates
     assert details.partials() == details.candidates - details.matched
     assert set(details.per_attribute) <= set(paper_event.names)
+
+
+class TestCollectAttributeIdsEdges:
+    """Step-1 edge cases: unknown attribute names and non-numeric values."""
+
+    def test_attribute_absent_from_both_structures_contributes_nothing(
+        self, paper_store, schema
+    ):
+        from repro.model.events import Event
+
+        summary = paper_store.build_summary(Precision.COARSE)
+        # "high" is in the schema but neither figure-3 subscription
+        # constrains it — absent from both the AACS and SACS maps.
+        assert summary.aacs("high") is None and summary.sacs("high") is None
+        assert summary.collect_attribute_ids("high", 1.23) == set()
+        # A name outside the schema entirely behaves the same way.
+        assert summary.collect_attribute_ids("not_an_attribute", "x") == set()
+        # And a whole event made of such attributes matches nothing.
+        assert match_event(summary, Event.of(high=1.23)) == set()
+
+    def test_non_numeric_value_on_arithmetic_attribute_raises_schema_error(
+        self, paper_store
+    ):
+        from repro.model.schema import SchemaError
+
+        summary = paper_store.build_summary(Precision.COARSE)
+        assert summary.aacs("price") is not None
+        with pytest.raises(SchemaError, match="price.*is not numeric"):
+            summary.collect_attribute_ids("price", "not-a-number")
+        with pytest.raises(SchemaError, match="is not numeric"):
+            summary.collect_attribute_ids("price", None)
+
+    def test_compiled_matcher_raises_the_same_schema_error(self, paper_store):
+        from repro.model.events import Event
+        from repro.model.schema import SchemaError
+        from repro.summary import CompiledMatcher
+
+        summary = paper_store.build_summary(Precision.COARSE)
+        compiled = CompiledMatcher(summary)
+        bad = Event.from_pairs([("price", summary.schema.type_of("symbol"), "oops")])
+        with pytest.raises(SchemaError, match="price.*is not numeric"):
+            compiled.match(bad)
+        # The failed match must not corrupt the preallocated counters:
+        # a subsequent good event still matches identically to the reference.
+        good = Event.of(symbol="OTE", price=8.40)
+        assert compiled.match(good) == match_event(summary, good)
