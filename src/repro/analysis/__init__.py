@@ -5,7 +5,13 @@ from repro.analysis.complexity import (
     linear_fit_r2,
     measure_matching_scaling,
 )
-from repro.analysis.report import BrokerReport, SystemReport, build_report, gini
+from repro.analysis.report import (
+    BrokerReport,
+    SystemReport,
+    TransportReport,
+    build_report,
+    gini,
+)
 from repro.analysis.cost_model import (
     ExpectedCounts,
     aacs_size,
@@ -25,6 +31,7 @@ __all__ = [
     "ScalingPoint",
     "SystemReport",
     "aacs_size",
+    "TransportReport",
     "build_report",
     "baseline_bandwidth",
     "expected_structure_counts",

@@ -2,19 +2,27 @@
 
 Aggregates a running :class:`~repro.broker.system.SummaryPubSub` into one
 structured report: per-broker load (events examined, deliveries, false
-positives, storage), knowledge coverage, and summary compaction ratios.
-Examples print it; the virtual-degrees ablation uses the imbalance metrics
-to quantify hot spots.
+positives, storage), knowledge coverage, summary compaction ratios, and —
+when the system runs over a fault-injected or reliable transport — the
+transport-health line (ACKs, retransmissions, abandoned sends, BROCLI
+re-routes, reliability byte overhead).  Examples print it; the
+virtual-degrees ablation uses the imbalance metrics to quantify hot spots.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.broker.system import SummaryPubSub
 
-__all__ = ["BrokerReport", "SystemReport", "build_report", "gini"]
+__all__ = [
+    "BrokerReport",
+    "SystemReport",
+    "TransportReport",
+    "build_report",
+    "gini",
+]
 
 
 def gini(values: List[float]) -> float:
@@ -49,9 +57,46 @@ class BrokerReport:
     knowledge_size: int  # |Merged_Brokers|
 
 
+@dataclass(frozen=True)
+class TransportReport:
+    """Reliability/fault counters aggregated over both traffic phases.
+
+    All-zero on a plain :class:`~repro.network.simulator.Network`; the
+    interesting numbers appear under :class:`~repro.network.faults
+    .LossyNetwork` and :class:`~repro.network.reliable.ReliableNetwork`.
+    """
+
+    acks: int
+    retransmits: int
+    send_failures: int
+    reliability_bytes: int
+    bytes_sent: int
+    #: BROCLI searches re-routed around an unreachable broker.
+    event_reroutes: int
+    #: owner notifications abandoned (the owner itself was unreachable).
+    notify_failures: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """ACK + retransmission bytes as a share of all bytes sent."""
+        return self.reliability_bytes / self.bytes_sent if self.bytes_sent else 0.0
+
+    @property
+    def quiet(self) -> bool:
+        """True when no reliability machinery ever engaged."""
+        return not (
+            self.acks
+            or self.retransmits
+            or self.send_failures
+            or self.event_reroutes
+            or self.notify_failures
+        )
+
+
 @dataclass
 class SystemReport:
     brokers: List[BrokerReport] = field(default_factory=list)
+    transport: Optional[TransportReport] = None
 
     # -- aggregates -----------------------------------------------------------
 
@@ -104,12 +149,35 @@ class SystemReport:
             f"storage {self.total_storage_bytes:,} B, "
             f"examination gini {self.examination_gini:.2f}"
         )
+        if self.transport is not None and not self.transport.quiet:
+            t = self.transport
+            lines.append(
+                f"transport: acks={t.acks} retransmits={t.retransmits} "
+                f"failures={t.send_failures} reroutes={t.event_reroutes} "
+                f"notify-losses={t.notify_failures} "
+                f"overhead {t.overhead_fraction:.1%} "
+                f"({t.reliability_bytes:,} B)"
+            )
         return "\n".join(lines)
+
+
+def _transport_report(system: SummaryPubSub) -> TransportReport:
+    phases = (system.propagation_metrics, system.event_metrics)
+    router = system.router
+    return TransportReport(
+        acks=sum(m.acks for m in phases),
+        retransmits=sum(m.retransmits for m in phases),
+        send_failures=sum(m.send_failures for m in phases),
+        reliability_bytes=sum(m.reliability_bytes for m in phases),
+        bytes_sent=sum(m.bytes_sent for m in phases),
+        event_reroutes=getattr(router, "event_reroutes", 0),
+        notify_failures=getattr(router, "notify_failures", 0),
+    )
 
 
 def build_report(system: SummaryPubSub) -> SystemReport:
     """Snapshot the system's per-broker counters into a report."""
-    report = SystemReport()
+    report = SystemReport(transport=_transport_report(system))
     for broker_id in sorted(system.brokers):
         broker = system.brokers[broker_id]
         report.brokers.append(

@@ -54,11 +54,14 @@ class SummaryBroker:
         precision: Precision = Precision.COARSE,
         on_delivery: Optional[DeliveryCallback] = None,
         matcher: str = "reference",
+        dedup_capacity: int = 4096,
     ):
         if matcher not in MATCHERS:
             raise ValueError(
                 f"unknown matcher {matcher!r}; expected one of {MATCHERS}"
             )
+        if dedup_capacity < 1:
+            raise ValueError("dedup capacity must be positive")
         self.broker_id = broker_id
         self.schema = schema
         self.precision = precision
@@ -91,7 +94,7 @@ class SummaryBroker:
         # -- at-least-once tolerance: recently seen publish ids (LRU) --
         self._routed_publishes: OrderedDict = OrderedDict()
         self._delivered_publishes: OrderedDict = OrderedDict()
-        self._dedup_capacity = 4096
+        self._dedup_capacity = dedup_capacity
 
     # -- subscription side ----------------------------------------------------
 
@@ -153,10 +156,19 @@ class SummaryBroker:
 
     def reset_merged_state(self) -> None:
         """Forget remote knowledge (full-refresh support): the kept summary
-        restarts from the local store."""
+        restarts from the local store.
+
+        The per-period propagation scratch is cleared too: a refresh
+        started while a period is in flight must not let ``finish_period``
+        fold the pre-reset delta (old remote knowledge) back into the
+        freshly rebuilt kept summary.
+        """
         self.kept_summary = self.rebuild_own_summary()
         self.merged_brokers = {self.broker_id}
         self.pending = []
+        self.delta_summary = None
+        self.delta_brokers = set()
+        self.contacted = set()
 
     # -- event side -------------------------------------------------------------
 
@@ -167,15 +179,26 @@ class SummaryBroker:
         if publish_id == 0:
             return True
         if publish_id in self._routed_publishes:
+            # LRU, not FIFO: a re-seen id is hot (retransmissions in
+            # flight) and must outlive colder entries.
+            self._routed_publishes.move_to_end(publish_id)
             self.duplicates_suppressed += 1
             return False
         self._remember(self._routed_publishes, publish_id)
         return True
 
     def _remember(self, table: OrderedDict, publish_id: int) -> None:
+        """Insert at the MRU end, evicting the LRU entry past capacity."""
         table[publish_id] = None
         if len(table) > self._dedup_capacity:
             table.popitem(last=False)
+
+    def clear_dedup(self) -> None:
+        """Forget all remembered publish ids (crash-recovery support: a
+        restored broker must not treat a new router generation's ids as
+        duplicates of pre-snapshot traffic)."""
+        self._routed_publishes.clear()
+        self._delivered_publishes.clear()
 
     def match_kept(self, event: Event) -> Set[SubscriptionId]:
         """Match an event against the kept multi-broker summary.
@@ -210,6 +233,7 @@ class SummaryBroker:
         """
         if publish_id:
             if publish_id in self._delivered_publishes:
+                self._delivered_publishes.move_to_end(publish_id)  # LRU touch
                 self.duplicates_suppressed += 1
                 return set()
             self._remember(self._delivered_publishes, publish_id)

@@ -98,6 +98,12 @@ class SnapshotCodec:
             raise CodecError(f"{reader.remaining} trailing bytes after snapshot")
         # The watermark must also cover ids unsubscribed before the snapshot.
         broker.store.advance_watermark(next_local_id)
+        # Publish-id dedup tables are transient routing state, not durable
+        # knowledge: a restored broker serves a *new* router generation
+        # (fresh epoch), so any remembered ids are stale.  Clearing them is
+        # belt-and-braces against pre-restore entries surviving into the
+        # new deployment and suppressing fresh events as "duplicates".
+        broker.clear_dedup()
 
 
 def save_system(system: SummaryPubSub, directory: PathLike) -> List[Path]:

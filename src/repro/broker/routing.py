@@ -27,7 +27,9 @@ targets, hop counts) is matcher-independent; this is asserted end-to-end by
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set
+import itertools
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.broker.broker import SummaryBroker
 from repro.model.events import Event
@@ -37,6 +39,12 @@ from repro.wire.messages import EventMessage, Message, NotifyMessage
 
 __all__ = ["EventRouter"]
 
+#: Process-wide epoch allocator: every router generation gets a distinct
+#: namespace for its publish ids, so a re-created router (system rebuild,
+#: persistence restore) can never collide with ids that long-lived brokers
+#: still remember in their dedup tables.
+_EPOCH_SEQUENCE = itertools.count(1)
+
 
 class EventRouter:
     """Drives Algorithm 3 over a simulated network of summary brokers.
@@ -44,23 +52,85 @@ class EventRouter:
     Every publish gets a unique ``publish_id`` carried by its EVENT and
     NOTIFY messages; brokers remember recently-seen ids so duplicated
     messages (at-least-once transports, see
-    :class:`repro.network.faults.LossyNetwork`) neither re-forward the
-    search nor re-deliver to consumers.
+    :class:`repro.network.faults.LossyNetwork` and
+    :class:`repro.network.reliable.ReliableNetwork`) neither re-forward
+    the search nor re-deliver to consumers.
+
+    **Id layout.**  ``publish_id`` packs ``(epoch | broker | sequence)``
+    into a fixed 49-bit word whose top marker bit is always set::
+
+        [1 | epoch:8 | origin broker:16 | sequence:24]
+
+    The constant bit-length keeps the varint encoding of every identified
+    publish the same size (7 bytes), which makes byte accounting
+    deterministic across router generations — crash-recovered systems
+    route byte-for-byte identically even though their epochs differ.  The
+    epoch namespacing fixes a real bug: a fresh router restarts its
+    sequence at 0, and without the epoch its ids would collide with ids
+    already remembered by brokers, silently dropping new events as
+    "duplicates".
+
+    **Fault tolerance.**  When the network is a
+    :class:`~repro.network.reliable.ReliableNetwork`, the system facade
+    registers :meth:`handle_send_failure` as its failure listener.  A
+    forwarded EVENT whose retry budget ran out then re-routes the BROCLI
+    search to the next-best broker not yet examined (skipping brokers
+    already found unreachable for that publish), so one dead link loses at
+    most the unreachable broker's own subscribers instead of every
+    remaining downstream delivery.  Failed NOTIFYs are counted — the owner
+    itself is unreachable, so there is nowhere else to send them.
     """
 
-    def __init__(self, network: Network, brokers: Dict[int, SummaryBroker]):
+    #: Bits of the per-router publish sequence (wraps after ~16M publishes,
+    #: far beyond any dedup table's memory).
+    SEQ_BITS = 24
+    #: Bits of the origin broker id inside a publish id.
+    BROKER_BITS = 16
+
+    def __init__(
+        self,
+        network: Network,
+        brokers: Dict[int, SummaryBroker],
+        epoch: Optional[int] = None,
+    ):
         self.network = network
         self.brokers = brokers
         self._all_brokers: FrozenSet[int] = frozenset(network.topology.brokers)
         self._publish_sequence = 0
+        if epoch is None:
+            epoch = next(_EPOCH_SEQUENCE)
+        self.epoch = epoch
+        #: 9-bit field with the marker bit set — constant width by design.
+        self._epoch_field = 0x100 | (epoch & 0xFF)
+        # -- reliability bookkeeping --
+        #: publishes whose BROCLI search was re-routed around a dead link.
+        self.event_reroutes = 0
+        #: owner notifications lost because the owner was unreachable.
+        self.notify_failures = 0
+        #: searches abandoned with no reachable unexamined broker left.
+        self.searches_abandoned = 0
+        #: per-publish brokers found unreachable (bounded LRU).
+        self._unreachable: "OrderedDict[int, Set[int]]" = OrderedDict()
+        self._unreachable_capacity = 1024
 
     # -- entry points --------------------------------------------------------
+
+    def next_publish_id(self, broker_id: int) -> int:
+        """Mint the epoch-namespaced id for one publish at ``broker_id``."""
+        if not 0 <= broker_id < (1 << self.BROKER_BITS):
+            raise ValueError(
+                f"broker id {broker_id} does not fit the publish-id layout"
+            )
+        self._publish_sequence += 1
+        sequence = self._publish_sequence & ((1 << self.SEQ_BITS) - 1)
+        return (
+            ((self._epoch_field << self.BROKER_BITS) | broker_id) << self.SEQ_BITS
+        ) | sequence
 
     def publish(self, broker_id: int, event: Event) -> None:
         """Inject a producer's event at its attached broker and run the
         distributed processing to completion."""
-        self._publish_sequence += 1
-        publish_id = (broker_id << 40) | self._publish_sequence
+        publish_id = self.next_publish_id(broker_id)
         self.process_event(self.brokers[broker_id], event, frozenset(), publish_id)
         self.network.run()
 
@@ -78,6 +148,60 @@ class EventRouter:
             )
             return True
         return False
+
+    # -- reliability: retry-exhaustion handling ------------------------------------
+
+    def handle_send_failure(self, src: int, dst: int, message: Message) -> bool:
+        """React to a broker-to-broker send abandoned by the reliable
+        transport (registered as a
+        :class:`~repro.network.reliable.ReliableNetwork` failure listener).
+
+        * An EVENT forward severed the serial BROCLI chain: re-route the
+          search from ``src`` to the next-best broker that is neither
+          examined (in BROCLI) nor already known unreachable for this
+          publish.  The forwarded BROCLI deliberately does *not* include
+          the dead broker — it was never examined, so a later hop may
+          still reach it over a healthier link.
+        * A NOTIFY failed: the owning broker itself is unreachable, so the
+          delivery is lost; count it so experiments can report the residue.
+
+        Returns True when the failure was handled (event/notify kinds).
+        """
+        if isinstance(message, EventMessage):
+            unreachable = self._unreachable_for(message.publish_id)
+            unreachable.add(dst)
+            blocked = frozenset(message.brocli) | frozenset(unreachable)
+            if self._all_brokers <= blocked:
+                self.searches_abandoned += 1
+                return True
+            target = self._next_router(blocked, src)
+            self.event_reroutes += 1
+            self.network.send(
+                src,
+                target,
+                EventMessage(
+                    event=message.event,
+                    brocli=message.brocli,
+                    publish_id=message.publish_id,
+                ),
+            )
+            return True
+        if isinstance(message, NotifyMessage):
+            self.notify_failures += 1
+            return True
+        return False
+
+    def _unreachable_for(self, publish_id: int) -> Set[int]:
+        """The (bounded, LRU) unreachable-broker set for one publish."""
+        table = self._unreachable
+        entry = table.get(publish_id)
+        if entry is not None:
+            table.move_to_end(publish_id)
+            return entry
+        entry = table[publish_id] = set()
+        if len(table) > self._unreachable_capacity:
+            table.popitem(last=False)
+        return entry
 
     # -- Algorithm 3 at one broker ----------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.model.schema import Schema
 from repro.model.subscriptions import Subscription
 from repro.network.latency import LatencyModel, TimedNetwork
 from repro.network.metrics import NetworkMetrics
+from repro.network.reliable import ReliableNetwork, RetryPolicy
 from repro.network.simulator import Network
 from repro.network.topology import Topology
 from repro.summary.precision import Precision
@@ -99,6 +100,8 @@ class SummaryPubSub:
         network_cls: Optional[type] = None,
         network_options: Optional[Dict] = None,
         matcher: str = "reference",
+        reliability: Optional[RetryPolicy] = None,
+        dedup_capacity: int = 4096,
     ):
         self.topology = topology
         self.schema = schema
@@ -106,6 +109,8 @@ class SummaryPubSub:
         #: Event-matching engine: "reference" (live summary walk, paper
         #: semantics, the default) or "compiled" (flat snapshot fast path).
         self.matcher = matcher
+        #: Per-broker publish-id LRU size (at-least-once dedup window).
+        self.dedup_capacity = dedup_capacity
         self.id_codec = IdCodec(
             num_brokers=topology.num_brokers,
             max_subscriptions=max_subscriptions,
@@ -131,6 +136,16 @@ class SummaryPubSub:
             )
         else:
             self.network = Network(topology, self.message_codec, self.propagation_metrics)
+        if reliability is not None:
+            # Layer ACK/retransmit delivery over whatever transport was
+            # configured (most usefully a LossyNetwork) — unless the
+            # caller already built a ReliableNetwork via network_cls.
+            if isinstance(self.network, ReliableNetwork):
+                raise ValueError(
+                    "network_cls already provides reliability; "
+                    "drop the reliability= argument"
+                )
+            self.network = ReliableNetwork.wrap(self.network, policy=reliability)
 
         self._delivery_log: List[Delivery] = []
         self._delivery_listeners: List = []
@@ -144,6 +159,20 @@ class SummaryPubSub:
             self.network, self.brokers, policy=propagation_policy
         )
         self.router = EventRouter(self.network, self.brokers)
+        self._wire_failure_listener()
+
+    def _wire_failure_listener(self) -> None:
+        """Let the router re-route searches the reliable transport gave up
+        on.  The hook is duck-typed so plain/lossy/timed networks (which
+        never report failures) need no special casing."""
+        add_listener = getattr(self.network, "add_failure_listener", None)
+        if add_listener is not None:
+            add_listener(self._on_send_failure)
+
+    def _on_send_failure(self, src: int, dst: int, message: Message) -> None:
+        # Indirect through self.router so enable_locality/-virtual_degrees
+        # router swaps keep working without re-registering the listener.
+        self.router.handle_send_failure(src, dst, message)
 
     def _create_broker(self, broker_id: int) -> SummaryBroker:
         """Broker factory — extension systems override this hook."""
@@ -153,6 +182,7 @@ class SummaryPubSub:
             self.precision,
             on_delivery=self._record_delivery,
             matcher=self.matcher,
+            dedup_capacity=self.dedup_capacity,
         )
 
     # -- client operations -------------------------------------------------------

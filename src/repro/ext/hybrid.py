@@ -95,6 +95,7 @@ class HybridBroker(SummaryBroker):
         notification for their coverer must fan out to them here."""
         if publish_id:
             if publish_id in self._delivered_publishes:
+                self._delivered_publishes.move_to_end(publish_id)  # LRU touch
                 self.duplicates_suppressed += 1
                 return set()
             self._remember(self._delivered_publishes, publish_id)
@@ -120,6 +121,7 @@ class HybridPubSub(SummaryPubSub):
             self.precision,
             on_delivery=self._record_delivery,
             matcher=self.matcher,
+            dedup_capacity=self.dedup_capacity,
         )
 
     def total_suppressed(self) -> int:

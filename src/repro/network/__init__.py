@@ -10,6 +10,7 @@ from repro.network.latency import (
     UniformLatency,
 )
 from repro.network.metrics import NetworkMetrics
+from repro.network.reliable import ReliableNetwork, RetryPolicy
 from repro.network.simulator import BrokerHandler, Network, NetworkError
 from repro.network.topology import Topology, paper_example_tree
 
@@ -19,6 +20,8 @@ __all__ = [
     "LatencyModel",
     "Federation",
     "LossyNetwork",
+    "ReliableNetwork",
+    "RetryPolicy",
     "SeededLatency",
     "TimedNetwork",
     "UniformLatency",

@@ -13,7 +13,18 @@ duplicates messages with seeded probabilities, so experiments can measure
   deliveries (asserted by tests).
 
 Dropped messages still charge bytes (the sender transmitted them); they
-simply never arrive.
+simply never arrive.  Duplicated messages charge bytes **twice** for the
+same reason — the sender put two copies on the wire — so measured
+bandwidth never undercounts under duplication.
+
+Both probabilities accept the full closed interval ``[0, 1]``:
+``drop_probability=1.0`` models a completely dead network (useful with
+:class:`~repro.network.reliable.ReliableNetwork` to exercise retry
+exhaustion), and ``duplicate_probability=1.0`` duplicates every message.
+Out-of-range values raise :class:`ValueError`.
+
+Fault *tolerance* — per-message ACKs and bounded retransmission on top of
+this (or any) transport — lives in :mod:`repro.network.reliable`.
 """
 
 from __future__ import annotations
@@ -41,8 +52,8 @@ class LossyNetwork(Network):
         duplicate_probability: float = 0.0,
         seed: int = 0,
     ):
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError("drop probability must be in [0, 1)")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
         if not 0.0 <= duplicate_probability <= 1.0:
             raise ValueError("duplicate probability must be in [0, 1]")
         super().__init__(topology, codec, metrics)
@@ -67,6 +78,9 @@ class LossyNetwork(Network):
         self._enqueue(dst, src, message)
         if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
             self.duplicated += 1
+            # The duplicate is a second transmission: meter it too, or
+            # bandwidth figures would undercount under duplication.
+            self.metrics.record(src, dst, size, path_length)
             self._enqueue(dst, src, message)
 
     def _enqueue(self, dst: int, src: int, message: Message) -> None:

@@ -15,6 +15,14 @@ The paper's primary metrics, and how we count them:
   (``link_hops``) for completeness.
 * **Storage** — accounted separately by the systems (summary/table sizes),
   not by the network layer.
+* **Reliability overhead** — when the overlay runs on a
+  :class:`~repro.network.reliable.ReliableNetwork`, ACKs and
+  retransmissions are *also* counted in ``messages``/``bytes_sent`` (they
+  really cross the wire) and additionally categorized in the
+  ``acks``/``ack_bytes``/``retransmits``/``retransmit_bytes`` counters so
+  figure-8/10-style bandwidth numbers can report how much of the traffic
+  was spent buying at-least-once delivery.  ``send_failures`` counts
+  transfers abandoned after the retry budget ran out.
 """
 
 from __future__ import annotations
@@ -41,6 +49,13 @@ class NetworkMetrics:
     #: classify traffic by endpoint pair (e.g. intra- vs inter-ISP).
     per_pair_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
+    # -- reliability-layer categorization (subset of the totals above) --
+    acks: int = 0  # ACK frames transmitted
+    ack_bytes: int = 0  # size x path length of those ACKs
+    retransmits: int = 0  # data frames re-sent after an ACK timeout
+    retransmit_bytes: int = 0  # size x path length of the re-sends
+    send_failures: int = 0  # transfers abandoned (retry budget exhausted)
+
     def record(self, src: int, dst: int, size: int, path_length: int) -> None:
         if size < 0 or path_length < 0:
             raise ValueError("size and path length must be non-negative")
@@ -55,12 +70,35 @@ class NetworkMetrics:
         pair = (src, dst)
         self.per_pair_bytes[pair] = self.per_pair_bytes.get(pair, 0) + size * path_length
 
+    def record_ack(self, size: int, path_length: int) -> None:
+        """Categorize one transmitted ACK (already charged via record())."""
+        self.acks += 1
+        self.ack_bytes += size * path_length
+
+    def record_retransmit(self, size: int, path_length: int) -> None:
+        """Categorize one retransmission (already charged via record())."""
+        self.retransmits += 1
+        self.retransmit_bytes += size * path_length
+
+    def record_send_failure(self) -> None:
+        self.send_failures += 1
+
+    @property
+    def reliability_bytes(self) -> int:
+        """Total bytes spent on the reliability layer (ACKs + re-sends)."""
+        return self.ack_bytes + self.retransmit_bytes
+
     def merge(self, other: "NetworkMetrics") -> None:
         self.messages += other.messages
         self.hops += other.hops
         self.link_hops += other.link_hops
         self.bytes_sent += other.bytes_sent
         self.payload_bytes += other.payload_bytes
+        self.acks += other.acks
+        self.ack_bytes += other.ack_bytes
+        self.retransmits += other.retransmits
+        self.retransmit_bytes += other.retransmit_bytes
+        self.send_failures += other.send_failures
         for table_name in (
             "per_broker_sent",
             "per_broker_received",
@@ -77,6 +115,11 @@ class NetworkMetrics:
         self.link_hops = 0
         self.bytes_sent = 0
         self.payload_bytes = 0
+        self.acks = 0
+        self.ack_bytes = 0
+        self.retransmits = 0
+        self.retransmit_bytes = 0
+        self.send_failures = 0
         self.per_broker_sent.clear()
         self.per_broker_received.clear()
         self.per_broker_bytes.clear()
@@ -89,10 +132,21 @@ class NetworkMetrics:
             "link_hops": self.link_hops,
             "bytes_sent": self.bytes_sent,
             "payload_bytes": self.payload_bytes,
+            "acks": self.acks,
+            "ack_bytes": self.ack_bytes,
+            "retransmits": self.retransmits,
+            "retransmit_bytes": self.retransmit_bytes,
+            "send_failures": self.send_failures,
         }
 
     def __repr__(self) -> str:
+        reliability = ""
+        if self.acks or self.retransmits or self.send_failures:
+            reliability = (
+                f", acks={self.acks}, retransmits={self.retransmits}, "
+                f"failures={self.send_failures}"
+            )
         return (
             f"NetworkMetrics(messages={self.messages}, hops={self.hops}, "
-            f"bytes={self.bytes_sent})"
+            f"bytes={self.bytes_sent}{reliability})"
         )

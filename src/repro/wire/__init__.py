@@ -2,17 +2,20 @@
 
 from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, WireCodec
 from repro.wire.messages import (
+    AckMessage,
     AdvertisementMessage,
     EventMessage,
     Message,
     MessageCodec,
     MessageKind,
     NotifyMessage,
+    ReliableDataMessage,
     SubscriptionBatchMessage,
     SummaryMessage,
 )
 
 __all__ = [
+    "AckMessage",
     "AdvertisementMessage",
     "ByteReader",
     "ByteWriter",
@@ -22,6 +25,7 @@ __all__ = [
     "MessageCodec",
     "MessageKind",
     "NotifyMessage",
+    "ReliableDataMessage",
     "SubscriptionBatchMessage",
     "SummaryMessage",
     "ValueWidth",

@@ -13,6 +13,14 @@ traversal, so bandwidth figures come from real encodings:
   (Algorithm 3 payload; Siena/baseline send an empty BROCLI).
 * :class:`NotifyMessage` — an event delivered to the owning broker along
   with the subscription ids it matched (Algorithm 1, step 3).
+
+The reliability layer (:mod:`repro.network.reliable`) adds two transport
+frames so its overhead is charged in real bytes like everything else:
+
+* :class:`ReliableDataMessage` — any of the above wrapped with a transfer
+  id the receiver must acknowledge (the varint id is the per-message
+  header cost of reliable delivery).
+* :class:`AckMessage` — the acknowledgement for one transfer id.
 """
 
 from __future__ import annotations
@@ -28,8 +36,10 @@ from repro.summary.summary import BrokerSummary
 from repro.wire.codec import ByteReader, ByteWriter, CodecError, WireCodec, _decode_guard
 
 __all__ = [
+    "AckMessage",
     "AdvertisementMessage",
     "MessageKind",
+    "ReliableDataMessage",
     "SummaryMessage",
     "SubscriptionBatchMessage",
     "EventMessage",
@@ -45,6 +55,8 @@ class MessageKind(enum.IntEnum):
     EVENT = 2
     NOTIFY = 3
     ADVERTISEMENT = 4
+    ACK = 5
+    RELIABLE_DATA = 6
 
 
 @dataclass(frozen=True)
@@ -112,12 +124,44 @@ class AdvertisementMessage:
         return len(self.entries)
 
 
+@dataclass(frozen=True)
+class AckMessage:
+    """Transport acknowledgement for one reliable transfer.
+
+    Sent by the receiving endpoint of a :class:`ReliableDataMessage`;
+    never wrapped itself (a lost ACK is repaired by the sender's
+    retransmission timer, not by acking the ACK).
+    """
+
+    transfer_id: int
+
+    kind = MessageKind.ACK
+
+
+@dataclass(frozen=True)
+class ReliableDataMessage:
+    """A payload message framed with the reliability header.
+
+    ``transfer_id`` identifies one logical send on one link; the receiver
+    acks it and the sender retransmits the same frame until acked or the
+    retry budget is exhausted.  Nesting reliability frames is a codec
+    error: the payload is always one of the application messages above.
+    """
+
+    transfer_id: int
+    payload: "Message"
+
+    kind = MessageKind.RELIABLE_DATA
+
+
 Message = Union[
     SummaryMessage,
     SubscriptionBatchMessage,
     EventMessage,
     NotifyMessage,
     AdvertisementMessage,
+    AckMessage,
+    ReliableDataMessage,
 ]
 
 
@@ -154,6 +198,15 @@ class MessageCodec:
             payload = self.wire.encode_event(message.event)
             writer.varint(len(payload))
             writer.raw(payload)
+        elif isinstance(message, AckMessage):
+            writer.varint(message.transfer_id)
+        elif isinstance(message, ReliableDataMessage):
+            if isinstance(message.payload, (AckMessage, ReliableDataMessage)):
+                raise CodecError("reliability frames cannot nest")
+            writer.varint(message.transfer_id)
+            payload = self.encode(message.payload)
+            writer.varint(len(payload))
+            writer.raw(payload)
         else:  # pragma: no cover - closed union
             raise CodecError(f"unknown message type {type(message).__name__}")
         return writer.getvalue()
@@ -184,6 +237,15 @@ class MessageCodec:
                 message = SubscriptionBatchMessage(entries=tuple(entries))
             else:
                 message = AdvertisementMessage(entries=tuple(entries))
+        elif kind is MessageKind.ACK:
+            message = AckMessage(transfer_id=reader.varint())
+        elif kind is MessageKind.RELIABLE_DATA:
+            transfer_id = reader.varint()
+            payload_bytes = reader.raw(reader.varint())
+            inner = self.decode(payload_bytes)
+            if isinstance(inner, (AckMessage, ReliableDataMessage)):
+                raise CodecError("reliability frames cannot nest")
+            message = ReliableDataMessage(transfer_id=transfer_id, payload=inner)
         elif kind is MessageKind.EVENT:
             publish_id = reader.varint()
             brocli = frozenset(self.wire.read_broker_set(reader))

@@ -77,3 +77,40 @@ class TestSystemReport:
         text = str(build_report(system))
         assert "totals:" in text
         assert text.count("\n") >= 4
+
+
+class TestTransportReport:
+    def test_plain_network_is_quiet(self, schema):
+        system = SummaryPubSub(Topology.line(3), schema)
+        system.run_propagation_period()
+        report = build_report(system)
+        assert report.transport is not None
+        assert report.transport.quiet
+        assert "transport:" not in str(report)  # no noise when healthy
+
+    def test_reliable_transport_counters_surface(self, schema):
+        from repro.model import Event
+        from repro.network.faults import LossyNetwork
+        from repro.network.reliable import RetryPolicy
+
+        system = SummaryPubSub(
+            Topology.line(3),
+            schema,
+            network_cls=LossyNetwork,
+            network_options={"drop_probability": 0.3, "seed": 5},
+            reliability=RetryPolicy(retries=3, timeout_rounds=2),
+        )
+        system.subscribe(2, parse_subscription(schema, "price > 1"))
+        system.run_propagation_period()
+        for index in range(10):
+            system.publish(0, Event.of(price=5.0 + index))
+        report = build_report(system)
+        transport = report.transport
+        assert transport.acks > 0
+        assert transport.retransmits > 0  # 30% loss forced retries
+        assert transport.reliability_bytes > 0
+        assert 0.0 < transport.overhead_fraction < 1.0
+        assert not transport.quiet
+        text = str(report)
+        assert "transport:" in text
+        assert f"retransmits={transport.retransmits}" in text

@@ -130,6 +130,45 @@ class TestSystemRecovery:
         outcome = recovered.publish(0, event)
         assert sid in {d.sid for d in outcome.deliveries}
 
+    def test_restore_then_publish_not_deduped(self, tmp_path):
+        """Regression: the original system publishes (brokers remember the
+        publish ids), the snapshot is restored, and the recovered system
+        publishes again.  Without epoch-namespaced publish ids (and dedup
+        clearing on restore) the recovered router re-minted the original's
+        ids and every fresh event died in the duplicate filter."""
+        topology = Topology.line(4)
+        generator, system, subs = loaded_system(topology, sigma=3)
+        rng = random.Random(11)
+        pre_save_events = [
+            generator.matching_event(rng.choice(subs)) for _ in range(6)
+        ]
+        for event in pre_save_events:
+            system.publish(rng.randrange(4), event)
+        save_system(system, tmp_path)
+
+        recovered = load_system(
+            SummaryPubSub(topology, generator.schema), tmp_path
+        )
+        assert recovered.router.epoch != system.router.epoch
+        for event in pre_save_events:  # same content, fresh publishes
+            outcome = recovered.publish(0, event)
+            assert {(d.broker, d.sid) for d in outcome.deliveries} == (
+                recovered.ground_truth_matches(event)
+            )
+        suppressed = sum(
+            broker.duplicates_suppressed for broker in recovered.brokers.values()
+        )
+        assert suppressed == 0
+
+    def test_restore_clears_dedup_tables(self, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(system.brokers[0])
+        target = SummaryPubSub(Topology.line(2), schema)
+        target.brokers[0].first_routing_of(42)  # pre-restore traffic
+        codec.restore_broker(data, target.brokers[0])
+        assert target.brokers[0].first_routing_of(42)  # forgotten
+
     def test_missing_snapshot_detected(self, tmp_path, schema):
         system = SummaryPubSub(Topology.line(3), schema)
         save_system(system, tmp_path)

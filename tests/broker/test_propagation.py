@@ -146,3 +146,57 @@ class TestPolicies:
         snapshot = system.run_propagation_period()
         # Messages still flow (Merged_Brokers must propagate) but are small.
         assert snapshot["hops"] < 13
+
+
+class TestMaintenanceReset:
+    """``reset_merged_state`` (full-refresh support) must also discard the
+    per-period propagation scratch (regression: a refresh started while a
+    period was in flight let ``finish_period`` fold the pre-reset delta —
+    stale remote knowledge — back into the freshly rebuilt summary)."""
+
+    def _brokers(self):
+        from repro.broker.broker import SummaryBroker
+        from repro.summary.precision import Precision
+
+        schema = stock_schema()
+        a = SummaryBroker(0, schema, Precision.COARSE)
+        b = SummaryBroker(1, schema, Precision.COARSE)
+        return schema, a, b
+
+    def test_reset_clears_period_scratch(self):
+        schema, a, b = self._brokers()
+        b.subscribe(parse_subscription(schema, "price > 1"))
+        b.begin_period()
+        a.begin_period()
+        a.absorb_summary(1, b.delta_summary, {1})
+        assert a.delta_brokers == {0, 1} and a.contacted == {1}
+
+        a.reset_merged_state()
+        assert a.delta_summary is None
+        assert a.delta_brokers == set()
+        assert a.contacted == set()
+
+    def test_finish_after_reset_is_a_noop(self):
+        schema, a, b = self._brokers()
+        b.subscribe(parse_subscription(schema, "price > 2"))
+        b.begin_period()
+        a.begin_period()
+        a.absorb_summary(1, b.delta_summary, {1})
+        a.reset_merged_state()
+        a.finish_period()
+        # Broker 1's stale delta did NOT leak into the rebuilt summary.
+        assert a.merged_brokers == {0}
+        assert not a.kept_summary.all_ids()
+
+    def test_reset_keeps_local_subscriptions(self):
+        schema, a, b = self._brokers()
+        sid = a.subscribe(parse_subscription(schema, "price > 3"))
+        a.begin_period()
+        a.finish_period()
+        b.subscribe(parse_subscription(schema, "price > 1"))
+        b.begin_period()
+        a.begin_period()
+        a.absorb_summary(1, b.delta_summary, {1})
+        a.reset_merged_state()
+        assert sid in a.kept_summary.all_ids()
+        assert a.merged_brokers == {0}

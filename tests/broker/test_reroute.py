@@ -1,0 +1,121 @@
+"""BROCLI re-routing around dead links (EventRouter.handle_send_failure).
+
+A dead broker is modelled by a transport that drops every frame addressed
+to it.  The reliable layer exhausts its retry budget, reports the failure,
+and the router must steer the serial search around the hole so one dead
+node costs at most its own subscribers — not every downstream delivery.
+"""
+
+import pytest
+
+from repro.broker.system import SummaryPubSub
+from repro.network.faults import LossyNetwork
+from repro.network.reliable import RetryPolicy
+from repro.workload.popularity import (
+    popularity_event,
+    popularity_schema,
+    probe_subscription,
+)
+
+
+class DeadLinkNetwork(LossyNetwork):
+    """Drops (but meters) every frame addressed to a broker in ``dead``.
+
+    The set starts empty so propagation runs over a healthy overlay; tests
+    kill brokers only after the summaries are in place.
+    """
+
+    def __init__(self, topology, codec=None, metrics=None):
+        super().__init__(topology, codec, metrics)
+        self.dead = set()
+
+    def send(self, src, dst, message):
+        if dst in self.dead:
+            size = self.codec.size(message) if self.codec is not None else 0
+            self.metrics.record(src, dst, size, self.topology.path_length(src, dst))
+            self.dropped += 1
+            return
+        super().send(src, dst, message)
+
+
+@pytest.fixture
+def system_and_sids(figure7_tree):
+    system = SummaryPubSub(
+        figure7_tree,
+        popularity_schema(),
+        network_cls=DeadLinkNetwork,
+        reliability=RetryPolicy(retries=1, timeout_rounds=2),
+    )
+    sids = {}
+    for broker_id in figure7_tree.brokers:
+        sids[broker_id] = system.subscribe(broker_id, probe_subscription(broker_id))
+    system.run_propagation_period()
+    return system, sids
+
+
+def kill(system, broker_id):
+    system.network.inner.dead.add(broker_id)
+
+
+class TestEventReroute:
+    def test_search_routes_around_dead_mid_chain_broker(self, system_and_sids):
+        """Node 7 sits mid-chain on the example-3 forwarding path (0 -> 4
+        -> 7 -> 10).  With it dead, the old behaviour lost every delivery
+        past node 4; re-routing must still reach node 12's owner."""
+        system, sids = system_and_sids
+        kill(system, 7)
+        outcome = system.publish(0, popularity_event({3, 12}))
+        delivered = [d.sid for d in outcome.deliveries]
+        assert sorted(delivered) == sorted([sids[3], sids[12]])
+        assert len(delivered) == len(set(delivered))  # no duplicates
+        assert system.router.event_reroutes >= 1
+        assert system.event_metrics.send_failures >= 1
+        assert system.event_metrics.retransmits >= 1  # budget really spent
+
+    def test_unexaminable_broker_abandons_search_once(self, system_and_sids):
+        """When the only unexamined broker left is the dead one, the
+        search gives up exactly once instead of spinning."""
+        system, _ = system_and_sids
+        kill(system, 7)
+        system.publish(0, popularity_event({3, 12}))
+        assert system.router.searches_abandoned == 1
+
+    def test_only_dead_brokers_subscribers_are_lost(self, system_and_sids):
+        """An event matching everyone loses exactly the dead broker's own
+        delivery — the bound the re-route exists to enforce."""
+        system, sids = system_and_sids
+        kill(system, 7)
+        outcome = system.publish(0, popularity_event(set(range(13))))
+        delivered = {d.sid for d in outcome.deliveries}
+        assert delivered == {sids[b] for b in range(13) if b != 7}
+
+    def test_healthy_overlay_never_reroutes(self, system_and_sids):
+        system, sids = system_and_sids
+        outcome = system.publish(0, popularity_event({3, 7, 12}))
+        assert {d.sid for d in outcome.deliveries} == {
+            sids[3], sids[7], sids[12]
+        }
+        assert system.router.event_reroutes == 0
+        assert system.router.notify_failures == 0
+        assert system.event_metrics.send_failures == 0
+        assert system.event_metrics.retransmits == 0
+
+
+class TestNotifyFailure:
+    def test_dead_owner_counts_notify_failure(self, system_and_sids):
+        """Node 3 is a leaf whose subscriptions node 4 knows about: the
+        NOTIFY from node 4 is the only undeliverable message, so the event
+        search itself never re-routes."""
+        system, sids = system_and_sids
+        kill(system, 3)
+        outcome = system.publish(0, popularity_event({3, 12}))
+        assert {d.sid for d in outcome.deliveries} == {sids[12]}
+        assert system.router.notify_failures == 1
+        assert system.router.event_reroutes == 0
+
+    def test_notify_failures_accumulate(self, system_and_sids):
+        system, _ = system_and_sids
+        kill(system, 3)
+        for _ in range(3):
+            system.publish(0, popularity_event({3}))
+        assert system.router.notify_failures == 3

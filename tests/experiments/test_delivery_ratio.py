@@ -1,0 +1,116 @@
+"""Delivery-ratio regression suite: loss x retry budget on the 24-node
+Cable & Wireless backbone.
+
+This is the acceptance gate for the reliability layer: with
+``ReliableNetwork(retries=3)`` over ``LossyNetwork(drop=0.05)`` the event
+delivery ratio must reach 0.99 while the bare transport measurably loses
+traffic, consumers must never see a duplicate in any configuration, and
+the ACK/retransmit byte overhead must be visible in the metrics.
+
+CI runs this file under several ``REPRO_FAULT_SEED`` values, so every
+assertion must hold across fault-injection RNG streams, not just for one
+lucky seed.
+"""
+
+import pytest
+
+from repro.experiments.robustness import SEED_ENV, fault_seed, measure_delivery
+from repro.network import cable_wireless_24
+
+DROPS = (0.01, 0.05, 0.1)
+#: retry budgets; None = the bare lossy transport (paper's assumption).
+BUDGETS = (None, 1, 3)
+EVENTS = 30
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """DeliveryStats for every (drop, budget) cell, plus the zero-loss
+    reliable baseline, all at the CI-selected seed."""
+    topology = cable_wireless_24()
+    seed = fault_seed()
+    cells = {
+        (drop, retries): measure_delivery(
+            topology, drop, 0.0, EVENTS, seed=seed, retries=retries
+        )
+        for drop in DROPS
+        for retries in BUDGETS
+    }
+    cells[(0.0, 3)] = measure_delivery(
+        topology, 0.0, 0.0, 10, seed=seed, retries=3
+    )
+    return cells
+
+
+class TestAcceptance:
+    def test_reliable_transport_is_perfect_without_loss(self, grid):
+        clean = grid[(0.0, 3)]
+        assert clean.ratio == 1.0
+        assert clean.duplicates == 0
+        assert clean.retransmits == 0  # no spurious timer fires
+        assert clean.send_failures == 0
+
+    def test_bare_transport_measurably_loses_at_5pct(self, grid):
+        assert grid[(0.05, None)].ratio < 0.97
+
+    def test_retries_3_recovers_99pct_at_5pct_drop(self, grid):
+        """The headline acceptance criterion."""
+        assert grid[(0.05, 3)].ratio >= 0.99
+        assert grid[(0.05, 3)].ratio > grid[(0.05, None)].ratio
+
+    def test_budget_improves_delivery_monotonically(self, grid):
+        for drop in DROPS:
+            bare = grid[(drop, None)].ratio
+            one = grid[(drop, 1)].ratio
+            three = grid[(drop, 3)].ratio
+            assert bare <= one <= three, f"not monotone at drop={drop}"
+            assert three > bare, f"no improvement at drop={drop}"
+
+    def test_bare_delivery_degrades_with_drop_rate(self, grid):
+        ratios = [grid[(drop, None)].ratio for drop in DROPS]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < ratios[0]
+
+
+class TestExactlyOnceConsumers:
+    def test_zero_duplicate_deliveries_in_every_cell(self, grid):
+        """Retransmissions are at-least-once on the wire; the broker-layer
+        publish-id dedup must make consumers exactly-once everywhere."""
+        for (drop, retries), stats in grid.items():
+            assert stats.duplicates == 0, (
+                f"duplicate consumer delivery at drop={drop}, "
+                f"retries={retries}"
+            )
+
+
+class TestOverheadAccounting:
+    def test_reliability_bytes_are_charged_and_reported(self, grid):
+        for drop in DROPS:
+            stats = grid[(drop, 3)]
+            assert stats.acks > 0
+            assert stats.retransmits > 0  # loss really triggered retries
+            assert stats.reliability_bytes > 0
+            assert 0.0 < stats.overhead_fraction < 1.0
+
+    def test_reroutes_engage_under_heavy_loss(self, grid):
+        """At 10% drop with a single retry, some transfers exhaust their
+        budget and the router must steer around them."""
+        stats = grid[(0.1, 1)]
+        assert stats.send_failures > 0
+        assert stats.reroutes > 0
+
+    def test_bare_transport_reports_no_reliability_traffic(self, grid):
+        stats = grid[(0.1, None)]
+        assert stats.acks == 0 and stats.retransmits == 0
+        assert stats.reliability_bytes == 0
+
+
+class TestSeedPlumbing:
+    def test_env_var_selects_seed(self, monkeypatch):
+        monkeypatch.setenv(SEED_ENV, "42")
+        assert fault_seed() == 42
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(SEED_ENV, raising=False)
+        assert fault_seed() == 0
+        assert fault_seed(7) == 7

@@ -23,10 +23,26 @@ def message():
 
 class TestLossyNetwork:
     def test_validation(self):
-        with pytest.raises(ValueError):
-            LossyNetwork(Topology.line(2), drop_probability=1.0)
-        with pytest.raises(ValueError):
-            LossyNetwork(Topology.line(2), duplicate_probability=-0.1)
+        """Both probabilities accept the full closed interval [0, 1] and
+        reject everything outside it, symmetrically."""
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                LossyNetwork(Topology.line(2), drop_probability=bad)
+            with pytest.raises(ValueError):
+                LossyNetwork(Topology.line(2), duplicate_probability=bad)
+        # The boundaries are legal: 1.0 drop models a dead network.
+        LossyNetwork(Topology.line(2), drop_probability=1.0)
+        LossyNetwork(Topology.line(2), duplicate_probability=1.0)
+
+    def test_dead_network_drops_everything(self):
+        network = LossyNetwork(Topology.line(2), drop_probability=1.0, seed=4)
+        receiver = Recorder()
+        network.attach(1, receiver)
+        for _ in range(5):
+            network.send(0, 1, message())
+        network.run()
+        assert receiver.received == []
+        assert network.dropped == 5
 
     def test_zero_faults_is_plain_network(self):
         network = LossyNetwork(Topology.line(2), seed=1)
@@ -68,6 +84,30 @@ class TestLossyNetwork:
         network.run()
         assert len(receiver.received) == 2
         assert network.duplicated == 1
+
+    def test_duplicates_charge_bytes_twice(self):
+        """Honest accounting: the duplicate copy was transmitted too, so
+        messages/bytes meter both copies (regression: the duplicate used
+        to be enqueued without being metered)."""
+        from repro.model import IdCodec, stock_schema
+        from repro.wire.codec import ValueWidth, WireCodec
+        from repro.wire.messages import MessageCodec
+
+        codec = MessageCodec(
+            WireCodec(stock_schema(), IdCodec(2, 16, 7), ValueWidth.F32)
+        )
+        network = LossyNetwork(
+            Topology.line(2), codec, duplicate_probability=1.0, seed=3
+        )
+        receiver = Recorder()
+        network.attach(1, receiver)
+        size = codec.size(message())
+        network.send(0, 1, message())
+        network.run()
+        assert network.duplicated == 1
+        assert network.metrics.messages == 2
+        assert network.metrics.bytes_sent == 2 * size
+        assert network.metrics.payload_bytes == 2 * size
 
     def test_deterministic_under_seed(self):
         def run_once():

@@ -48,6 +48,11 @@ class TestLifecycle:
             "link_hops": 0,
             "bytes_sent": 0,
             "payload_bytes": 0,
+            "acks": 0,
+            "ack_bytes": 0,
+            "retransmits": 0,
+            "retransmit_bytes": 0,
+            "send_failures": 0,
         }
         assert metrics.per_broker_sent == {}
 
@@ -59,6 +64,37 @@ class TestLifecycle:
         assert a.messages == 2
         assert a.bytes_sent == 10 + 40
         assert a.per_broker_sent == {0: 2}
+
+
+class TestReliabilityCounters:
+    def test_categorized_and_surfaced(self):
+        metrics = NetworkMetrics()
+        metrics.record(0, 1, 10, 2)  # the ACK itself is charged normally...
+        metrics.record_ack(10, 2)  # ...and categorized here
+        metrics.record(0, 1, 30, 2)
+        metrics.record_retransmit(30, 2)
+        metrics.record_send_failure()
+        assert metrics.acks == 1 and metrics.ack_bytes == 20
+        assert metrics.retransmits == 1 and metrics.retransmit_bytes == 60
+        assert metrics.send_failures == 1
+        assert metrics.reliability_bytes == 80
+        snap = metrics.snapshot()
+        assert snap["acks"] == 1
+        assert snap["retransmits"] == 1
+        assert snap["send_failures"] == 1
+        assert "retransmits=1" in repr(metrics)
+
+    def test_merge_and_reset_cover_reliability(self):
+        a, b = NetworkMetrics(), NetworkMetrics()
+        b.record_ack(5, 1)
+        b.record_retransmit(7, 3)
+        b.record_send_failure()
+        a.merge(b)
+        assert (a.acks, a.ack_bytes) == (1, 5)
+        assert (a.retransmits, a.retransmit_bytes) == (1, 21)
+        assert a.send_failures == 1
+        a.reset()
+        assert a.reliability_bytes == 0 and a.acks == 0 and a.send_failures == 0
 
     def test_snapshot_is_plain_dict(self):
         metrics = NetworkMetrics()

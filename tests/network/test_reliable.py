@@ -1,0 +1,301 @@
+"""The ACK/retransmit reliability layer (repro.network.reliable)."""
+
+import pytest
+
+from repro.model import Event, IdCodec, stock_schema
+from repro.network import Topology
+from repro.network.faults import LossyNetwork
+from repro.network.reliable import ReliableNetwork, RetryPolicy
+from repro.network.simulator import Network, NetworkError
+from repro.wire.codec import ValueWidth, WireCodec
+from repro.wire.messages import (
+    AckMessage,
+    EventMessage,
+    MessageCodec,
+    ReliableDataMessage,
+)
+
+
+def codec(num_brokers=4):
+    return MessageCodec(
+        WireCodec(stock_schema(), IdCodec(num_brokers, 16, 7), ValueWidth.F32)
+    )
+
+
+def message():
+    return EventMessage(event=Event.of(price=1.0), brocli=frozenset(), publish_id=0)
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, src, msg):
+        self.received.append((src, msg))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_rounds=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(retries=3, timeout_rounds=4, backoff=2.0)
+        assert policy.schedule() == [4, 8, 16, 32]
+
+    def test_flat_backoff(self):
+        policy = RetryPolicy(retries=2, timeout_rounds=3, backoff=1.0)
+        assert policy.schedule() == [3, 3, 3]
+
+
+class TestConstruction:
+    def test_wrap_existing_transport(self):
+        lossy = LossyNetwork(Topology.line(2), codec(2), drop_probability=0.5)
+        net = ReliableNetwork.wrap(lossy, policy=RetryPolicy(retries=1))
+        assert net.inner is lossy
+        assert net.topology is lossy.topology
+        assert net.metrics is lossy.metrics
+
+    def test_network_cls_style_construction(self):
+        net = ReliableNetwork(
+            Topology.line(3),
+            codec(3),
+            inner_cls=LossyNetwork,
+            inner_options={"drop_probability": 0.1, "seed": 2},
+            retries=2,
+        )
+        assert isinstance(net.inner, LossyNetwork)
+        assert net.policy.retries == 2
+
+    def test_no_stacking(self):
+        inner = ReliableNetwork(Topology.line(2))
+        with pytest.raises(ValueError):
+            ReliableNetwork.wrap(inner)
+
+    def test_policy_and_fields_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ReliableNetwork(
+                Topology.line(2), policy=RetryPolicy(), retries=1
+            )
+
+    def test_shared_metrics_follow_reassignment(self):
+        from repro.network.metrics import NetworkMetrics
+
+        net = ReliableNetwork(Topology.line(2))
+        replacement = NetworkMetrics()
+        net.metrics = replacement
+        assert net.inner.metrics is replacement
+
+
+class TestHappyPath:
+    def test_delivers_and_acks_then_quiesces(self):
+        net = ReliableNetwork(Topology.line(2), codec(2))
+        receiver = Recorder()
+        net.attach(0, Recorder())
+        net.attach(1, receiver)
+        net.send(0, 1, message())
+        net.run()
+        assert len(receiver.received) == 1
+        src, payload = receiver.received[0]
+        assert src == 0 and isinstance(payload, EventMessage)
+        assert net.outstanding_transfers == 0
+        # one data frame + one ACK crossed the wire, both charged
+        assert net.metrics.messages == 2
+        assert net.metrics.acks == 1
+        assert net.metrics.ack_bytes > 0
+        assert net.metrics.retransmits == 0
+        assert net.metrics.send_failures == 0
+
+    def test_framing_overhead_is_charged(self):
+        """The reliable frame costs real bytes over the bare message."""
+        mc = codec(2)
+        bare = Network(Topology.line(2), mc)
+        bare.attach(0, Recorder())
+        bare.attach(1, Recorder())
+        bare.send(0, 1, message())
+        bare.run()
+
+        net = ReliableNetwork(Topology.line(2), mc)
+        net.attach(0, Recorder())
+        net.attach(1, Recorder())
+        net.send(0, 1, message())
+        net.run()
+        assert net.metrics.bytes_sent > bare.metrics.bytes_sent
+
+    def test_reliability_frames_rejected_at_send(self):
+        net = ReliableNetwork(Topology.line(2), codec(2))
+        net.attach(0, Recorder())
+        net.attach(1, Recorder())
+        with pytest.raises(NetworkError):
+            net.send(0, 1, AckMessage(transfer_id=1))
+        with pytest.raises(NetworkError):
+            net.send(0, 1, ReliableDataMessage(transfer_id=1, payload=message()))
+
+
+class TestRetransmission:
+    def test_lost_message_is_retransmitted_and_delivered(self):
+        net = ReliableNetwork(
+            Topology.line(2),
+            codec(2),
+            inner_cls=LossyNetwork,
+            # seed=3 drops the first transmission (see test_faults), the
+            # retransmit survives.
+            inner_options={"drop_probability": 0.5, "seed": 3},
+            policy=RetryPolicy(retries=3, timeout_rounds=3),
+        )
+        receiver = Recorder()
+        net.attach(0, Recorder())
+        net.attach(1, receiver)
+        net.send(0, 1, message())
+        net.run()
+        assert len(receiver.received) >= 1
+        assert net.metrics.retransmits >= 1
+        assert net.metrics.retransmit_bytes > 0
+        assert net.outstanding_transfers == 0
+
+    def test_dead_link_exhausts_budget_and_reports_failure(self):
+        net = ReliableNetwork(
+            Topology.line(2),
+            codec(2),
+            inner_cls=LossyNetwork,
+            inner_options={"drop_probability": 1.0, "seed": 1},
+            policy=RetryPolicy(retries=2, timeout_rounds=2),
+        )
+        failures = []
+        net.add_failure_listener(lambda src, dst, msg: failures.append((src, dst, msg)))
+        receiver = Recorder()
+        net.attach(0, Recorder())
+        net.attach(1, receiver)
+        net.send(0, 1, message())
+        net.run()
+        assert receiver.received == []
+        assert failures and failures[0][0] == 0 and failures[0][1] == 1
+        assert isinstance(failures[0][2], EventMessage)  # payload, unframed
+        assert net.metrics.send_failures == 1
+        assert net.metrics.retransmits == 2  # full budget spent
+        assert net.outstanding_transfers == 0
+
+    def test_lost_ack_triggers_duplicate_delivery(self):
+        """At-least-once: data arrives, ACK drops, sender re-sends, the
+        receiver sees the payload twice.  Upper layers must dedup."""
+
+        class AckEater(LossyNetwork):
+            """Drops only ACK frames (deterministic ack loss)."""
+
+            def __init__(self, topology, codec=None, metrics=None, eat=1):
+                super().__init__(topology, codec, metrics)
+                self.eat = eat
+
+            def send(self, src, dst, msg):
+                if isinstance(msg, AckMessage) and self.eat > 0:
+                    self.eat -= 1
+                    size = self.codec.size(msg) if self.codec else 0
+                    self.metrics.record(src, dst, size, self.topology.path_length(src, dst))
+                    self.dropped += 1
+                    return
+                super().send(src, dst, msg)
+
+        net = ReliableNetwork(
+            Topology.line(2),
+            codec(2),
+            inner_cls=AckEater,
+            policy=RetryPolicy(retries=3, timeout_rounds=3),
+        )
+        receiver = Recorder()
+        net.attach(0, Recorder())
+        net.attach(1, receiver)
+        net.send(0, 1, message())
+        net.run()
+        assert len(receiver.received) == 2  # original + retransmission
+        assert net.metrics.retransmits == 1
+        assert net.metrics.send_failures == 0
+        assert net.outstanding_transfers == 0
+
+    def test_heavy_loss_still_delivers_everything(self):
+        """30% loss, budget 5: the chance all six transmissions drop is
+        ~0.07%, so a 50-message burst delivers completely."""
+        net = ReliableNetwork(
+            Topology.line(2),
+            codec(2),
+            inner_cls=LossyNetwork,
+            inner_options={"drop_probability": 0.3, "seed": 11},
+            policy=RetryPolicy(retries=5, timeout_rounds=3),
+        )
+        receiver = Recorder()
+        net.attach(0, Recorder())
+        net.attach(1, receiver)
+        for index in range(50):
+            net.send(
+                0,
+                1,
+                EventMessage(
+                    event=Event.of(price=1.0),
+                    brocli=frozenset(),
+                    publish_id=index + 1,
+                ),
+            )
+        net.run()
+        seen = {m.publish_id for _, m in receiver.received}
+        assert seen == set(range(1, 51))  # every message arrived (dups allowed)
+        assert net.metrics.send_failures == 0
+        assert net.metrics.retransmits > 0
+
+    def test_deterministic_under_seed(self):
+        def run_once():
+            net = ReliableNetwork(
+                Topology.line(2),
+                codec(2),
+                inner_cls=LossyNetwork,
+                inner_options={"drop_probability": 0.4, "seed": 9},
+                policy=RetryPolicy(retries=2, timeout_rounds=3),
+            )
+            receiver = Recorder()
+            net.attach(0, Recorder())
+            net.attach(1, receiver)
+            for _ in range(30):
+                net.send(0, 1, message())
+            net.run()
+            return (
+                len(receiver.received),
+                net.metrics.retransmits,
+                net.metrics.send_failures,
+                net.metrics.bytes_sent,
+            )
+
+        assert run_once() == run_once()
+
+
+class TestWireFraming:
+    def test_ack_roundtrip(self):
+        mc = codec(2)
+        ack = AckMessage(transfer_id=77)
+        assert mc.decode(mc.encode(ack)) == ack
+        assert mc.size(ack) <= 4  # tag + small varint
+
+    def test_reliable_data_roundtrip(self):
+        mc = codec(2)
+        frame = ReliableDataMessage(transfer_id=9, payload=message())
+        decoded = mc.decode(mc.encode(frame))
+        assert decoded == frame
+        # framing overhead: tag + transfer id + length prefix
+        assert mc.size(frame) > mc.size(message())
+
+    def test_nested_frames_rejected(self):
+        from repro.wire.codec import CodecError
+
+        mc = codec(2)
+        with pytest.raises(CodecError):
+            mc.encode(
+                ReliableDataMessage(
+                    transfer_id=1,
+                    payload=ReliableDataMessage(transfer_id=2, payload=message()),
+                )
+            )
+        with pytest.raises(CodecError):
+            mc.encode(
+                ReliableDataMessage(transfer_id=1, payload=AckMessage(transfer_id=2))
+            )
