@@ -12,6 +12,13 @@ from repro.analysis.report import (
     build_report,
     gini,
 )
+from repro.analysis.tracereport import (
+    PublishDigest,
+    StageStats,
+    TraceReport,
+    build_trace_report,
+    load_spans,
+)
 from repro.analysis.cost_model import (
     ExpectedCounts,
     aacs_size,
@@ -28,11 +35,16 @@ from repro.analysis.cost_model import (
 __all__ = [
     "BrokerReport",
     "ExpectedCounts",
+    "PublishDigest",
     "ScalingPoint",
+    "StageStats",
     "SystemReport",
+    "TraceReport",
     "aacs_size",
     "TransportReport",
     "build_report",
+    "build_trace_report",
+    "load_spans",
     "baseline_bandwidth",
     "expected_structure_counts",
     "expected_summary_size",

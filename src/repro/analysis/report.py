@@ -12,9 +12,10 @@ virtual-degrees ablation uses the imbalance metrics to quantify hot spots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.broker.system import SummaryPubSub
+from repro.obs.metrics import collect_system_metrics
 
 __all__ = [
     "BrokerReport",
@@ -97,6 +98,11 @@ class TransportReport:
 class SystemReport:
     brokers: List[BrokerReport] = field(default_factory=list)
     transport: Optional[TransportReport] = None
+    #: Flat dotted-name snapshot of the unified
+    #: :class:`~repro.obs.metrics.MetricsRegistry` (``broker.*``,
+    #: ``net.propagation.*``, ``net.event.*``, ``net.reliability.*``,
+    #: ``router.*``, ``trace.*`` histogram summaries) — JSON-ready.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     # -- aggregates -----------------------------------------------------------
 
@@ -158,6 +164,11 @@ class SystemReport:
                 f"overhead {t.overhead_fraction:.1%} "
                 f"({t.reliability_bytes:,} B)"
             )
+        if self.metrics:
+            lines.append(
+                f"metrics: {len(self.metrics)} instruments "
+                f"(full snapshot in .metrics)"
+            )
         return "\n".join(lines)
 
 
@@ -177,7 +188,10 @@ def _transport_report(system: SummaryPubSub) -> TransportReport:
 
 def build_report(system: SummaryPubSub) -> SystemReport:
     """Snapshot the system's per-broker counters into a report."""
-    report = SystemReport(transport=_transport_report(system))
+    report = SystemReport(
+        transport=_transport_report(system),
+        metrics=collect_system_metrics(system).snapshot(),
+    )
     for broker_id in sorted(system.brokers):
         broker = system.brokers[broker_id]
         report.brokers.append(

@@ -25,6 +25,7 @@ from repro.model.events import Event
 from repro.model.ids import SubscriptionId
 from repro.model.schema import Schema
 from repro.model.subscriptions import Subscription
+from repro.obs.tracing import NULL_TRACER
 from repro.summary.compiled import CompiledMatcher
 from repro.summary.maintenance import SubscriptionStore
 from repro.summary.precision import Precision
@@ -47,6 +48,14 @@ DeliveryCallback = Callable[[int, SubscriptionId, Event], None]
 class SummaryBroker:
     """State of one broker in the summary-based system."""
 
+    #: Observability hooks.  Plain attributes (not ctor params) so the
+    #: system — and the ext systems that override broker creation — can
+    #: attach them after construction; the defaults cost one attribute
+    #: check per use.  ``paranoid`` additionally enables the
+    #: compiled-vs-reference parity cross-check inside :meth:`match_kept`.
+    tracer = NULL_TRACER
+    paranoid = False
+
     def __init__(
         self,
         broker_id: int,
@@ -55,6 +64,7 @@ class SummaryBroker:
         on_delivery: Optional[DeliveryCallback] = None,
         matcher: str = "reference",
         dedup_capacity: int = 4096,
+        max_subscriptions: Optional[int] = None,
     ):
         if matcher not in MATCHERS:
             raise ValueError(
@@ -66,7 +76,7 @@ class SummaryBroker:
         self.schema = schema
         self.precision = precision
         self.matcher = matcher
-        self.store = SubscriptionStore(schema, broker_id)
+        self.store = SubscriptionStore(schema, broker_id, max_subscriptions)
         self.on_delivery = on_delivery
         #: Lazily (re)built compiled snapshot of ``kept_summary`` when the
         #: ``"compiled"`` matcher is selected.
@@ -110,11 +120,21 @@ class SummaryBroker:
         The id is removed from the local kept summary immediately; remote
         kept summaries retain it until a full refresh period, but their
         matches are harmless — the exact re-check here drops them.
+
+        The id must also leave the *in-flight period delta*: when an
+        unsubscribe lands between ``begin_period`` and ``finish_period``,
+        the delta still holds the id (it was pending when the period
+        started), and ``finish_period`` merges the delta into
+        ``kept_summary`` — silently resurrecting the id until the next
+        full refresh.  The :class:`~repro.obs.audit.SummaryAuditor`'s
+        ``local-liveness`` check exists to catch exactly this divergence.
         """
         if self.store.unsubscribe(sid) is None:
             return False
         self.pending = [(p_sid, p_sub) for p_sid, p_sub in self.pending if p_sid != sid]
         self.kept_summary.remove(sid)
+        if self.delta_summary is not None:
+            self.delta_summary.remove(sid)
         return True
 
     # -- propagation-period state (driven by PropagationEngine) -----------------
@@ -200,6 +220,23 @@ class SummaryBroker:
         self._routed_publishes.clear()
         self._delivered_publishes.clear()
 
+    # -- dedup introspection (read-only; the auditor checks capacity) --
+
+    @property
+    def dedup_capacity(self) -> int:
+        """Configured bound of each publish-id LRU table."""
+        return self._dedup_capacity
+
+    @property
+    def routed_dedup_size(self) -> int:
+        """Entries currently held by the routing-side dedup table."""
+        return len(self._routed_publishes)
+
+    @property
+    def delivered_dedup_size(self) -> int:
+        """Entries currently held by the delivery-side dedup table."""
+        return len(self._delivered_publishes)
+
     def match_kept(self, event: Event) -> Set[SubscriptionId]:
         """Match an event against the kept multi-broker summary.
 
@@ -218,8 +255,27 @@ class SummaryBroker:
                 # ``reset_merged_state`` swaps in a brand-new summary object;
                 # rebind the snapshot to whatever is current.
                 compiled = self._compiled = CompiledMatcher(self.kept_summary)
-            return compiled.match(event)
+            matched = compiled.match(event)
+            if self.paranoid:
+                self._check_match_parity(matched, event)
+            return matched
         return self.kept_summary.match(event)
+
+    def _check_match_parity(self, fast: Set[SubscriptionId], event: Event) -> None:
+        """Paranoid-mode cross-check: the compiled snapshot must agree with
+        the reference Algorithm-1 walk on every event (cold path — only
+        runs when :attr:`paranoid` is set)."""
+        reference = self.kept_summary.match(event)
+        if fast == reference:
+            return
+        from repro.obs.audit import AuditError, Violation
+
+        raise AuditError([Violation(
+            "match-parity", self.broker_id,
+            f"compiled/reference disagree on {event!r}: "
+            f"only-compiled={sorted(fast - reference)[:3]} "
+            f"only-reference={sorted(reference - fast)[:3]}",
+        )])
 
     def deliver(
         self, sids: Set[SubscriptionId], event: Event, publish_id: int = 0
@@ -237,12 +293,29 @@ class SummaryBroker:
                 self.duplicates_suppressed += 1
                 return set()
             self._remember(self._delivered_publishes, publish_id)
-        confirmed = self.store.recheck(event, sids)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "recheck", broker=self.broker_id, trace_id=publish_id,
+                candidates=len(sids),
+            ) as span:
+                confirmed = self.store.recheck(event, sids)
+                span.note(
+                    confirmed=len(confirmed),
+                    false_positives=len(sids) - len(confirmed),
+                )
+        else:
+            confirmed = self.store.recheck(event, sids)
         self.false_positive_notifies += len(sids) - len(confirmed)
         for sid in sorted(confirmed):
             self.deliveries.append((sid, event))
             if self.on_delivery is not None:
                 self.on_delivery(self.broker_id, sid, event)
+        if confirmed and tracer.enabled:
+            tracer.record(
+                "delivery", broker=self.broker_id, trace_id=publish_id,
+                count=len(confirmed),
+            )
         return confirmed
 
     def __repr__(self) -> str:

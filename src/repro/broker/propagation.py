@@ -39,6 +39,7 @@ from typing import Dict, Optional
 
 from repro.broker.broker import SummaryBroker
 from repro.network.simulator import Network
+from repro.obs.tracing import NULL_TRACER
 from repro.wire.messages import Message, SummaryMessage
 
 __all__ = ["PropagationEngine", "TargetPolicy"]
@@ -53,6 +54,10 @@ class TargetPolicy(enum.Enum):
 
 class PropagationEngine:
     """Drives Algorithm 2 over a simulated network of summary brokers."""
+
+    #: Observability hook — assigned by the system facade; the null
+    #: default costs one attribute check per period.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -71,6 +76,18 @@ class PropagationEngine:
 
     def run_period(self) -> None:
         """One full propagation period over the pending subscription batches."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._run_period_body()
+            return
+        pending = sum(len(b.pending) for b in self.brokers.values())
+        with tracer.span(
+            "propagation_period", trace_id=self.periods_run + 1,
+            pending_subscriptions=pending,
+        ):
+            self._run_period_body()
+
+    def _run_period_body(self) -> None:
         topology = self.network.topology
         for broker in self.brokers.values():
             broker.begin_period()
@@ -95,6 +112,14 @@ class PropagationEngine:
             merged_brokers=frozenset(broker.delta_brokers),
         )
         broker.contacted.add(target)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                "summary_send", broker=broker.broker_id,
+                trace_id=self.periods_run + 1, target=target,
+                merged_brokers=len(broker.delta_brokers),
+                ids=len(broker.delta_summary.all_ids()),
+            )
         self.network.send(broker.broker_id, target, message)
 
     def _select_target(self, broker: SummaryBroker) -> Optional[int]:
@@ -124,6 +149,14 @@ class PropagationEngine:
         refresh period rebuilds every broker's summary from its raw store
         and replaces all remote knowledge.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("full_refresh", trace_id=self.periods_run + 1):
+                self._run_full_refresh_body()
+            return
+        self._run_full_refresh_body()
+
+    def _run_full_refresh_body(self) -> None:
         for broker in self.brokers.values():
             broker.reset_merged_state()
             # The full store contents become this period's "new" batch.

@@ -35,6 +35,7 @@ from repro.broker.broker import SummaryBroker
 from repro.model.events import Event
 from repro.model.ids import SubscriptionId
 from repro.network.simulator import Network
+from repro.obs.tracing import NULL_TRACER
 from repro.wire.messages import EventMessage, Message, NotifyMessage
 
 __all__ = ["EventRouter"]
@@ -80,6 +81,10 @@ class EventRouter:
     remaining downstream delivery.  Failed NOTIFYs are counted — the owner
     itself is unreachable, so there is nowhere else to send them.
     """
+
+    #: Observability hook — assigned by the system facade (and re-assigned
+    #: after ext router swaps); the null default costs one attribute check.
+    tracer = NULL_TRACER
 
     #: Bits of the per-router publish sequence (wraps after ~16M publishes,
     #: far beyond any dedup table's memory).
@@ -131,6 +136,17 @@ class EventRouter:
         """Inject a producer's event at its attached broker and run the
         distributed processing to completion."""
         publish_id = self.next_publish_id(broker_id)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "publish", broker=broker_id, trace_id=publish_id,
+                attributes=len(event),
+            ):
+                self.process_event(
+                    self.brokers[broker_id], event, frozenset(), publish_id
+                )
+                self.network.run()
+            return
         self.process_event(self.brokers[broker_id], event, frozenset(), publish_id)
         self.network.run()
 
@@ -216,23 +232,50 @@ class EventRouter:
         # for this publish (a redelivered EVENT message).
         if not broker.first_routing_of(publish_id):
             return
-        # Step 1: check the local merged summary (reference walk or
-        # compiled snapshot, per the broker's matcher option).
-        matched = broker.match_kept(event)
-        # Step 2: update BROCLI with this broker's Merged_Brokers (which
-        # includes its own id).
-        brocli = brocli_in | broker.merged_brokers | {broker.broker_id}
-        # Step 3: notify owners — but only those not examined upstream.
-        fresh = {sid for sid in matched if sid.broker not in brocli_in}
-        self._notify_owners(broker, event, fresh, publish_id)
-        # Step 4: keep searching until every broker has been examined.
-        if brocli != self._all_brokers:
-            target = self._next_router(brocli, broker.broker_id)
-            self.network.send(
-                broker.broker_id,
-                target,
-                EventMessage(event=event, brocli=brocli, publish_id=publish_id),
-            )
+        tracer = self.tracer
+        if not tracer.enabled:
+            # Step 1: check the local merged summary (reference walk or
+            # compiled snapshot, per the broker's matcher option).
+            matched = broker.match_kept(event)
+            # Step 2: update BROCLI with this broker's Merged_Brokers
+            # (which includes its own id).
+            brocli = brocli_in | broker.merged_brokers | {broker.broker_id}
+            # Step 3: notify owners — but only those not examined upstream.
+            fresh = {sid for sid in matched if sid.broker not in brocli_in}
+            self._notify_owners(broker, event, fresh, publish_id)
+            # Step 4: keep searching until every broker is examined.
+            if brocli != self._all_brokers:
+                target = self._next_router(brocli, broker.broker_id)
+                self.network.send(
+                    broker.broker_id,
+                    target,
+                    EventMessage(event=event, brocli=brocli, publish_id=publish_id),
+                )
+            return
+        # Traced variant of the same four steps.
+        with tracer.span(
+            "route_hop", broker=broker.broker_id, trace_id=publish_id,
+            brocli_in=len(brocli_in),
+        ) as hop:
+            with tracer.span(
+                "summary_match", broker=broker.broker_id, trace_id=publish_id,
+                engine=broker.matcher,
+            ) as match_span:
+                matched = broker.match_kept(event)
+                match_span.note(matched=len(matched))
+            brocli = brocli_in | broker.merged_brokers | {broker.broker_id}
+            fresh = {sid for sid in matched if sid.broker not in brocli_in}
+            self._notify_owners(broker, event, fresh, publish_id)
+            if brocli != self._all_brokers:
+                target = self._next_router(brocli, broker.broker_id)
+                hop.note(forwarded_to=target, brocli_out=len(brocli))
+                self.network.send(
+                    broker.broker_id,
+                    target,
+                    EventMessage(event=event, brocli=brocli, publish_id=publish_id),
+                )
+            else:
+                hop.note(search_complete=True, brocli_out=len(brocli))
 
     def _notify_owners(
         self,
@@ -244,10 +287,16 @@ class EventRouter:
         by_owner: Dict[int, Set[SubscriptionId]] = {}
         for sid in matched:
             by_owner.setdefault(sid.broker, set()).add(sid)
+        tracer = self.tracer
         for owner, sids in sorted(by_owner.items()):
             if owner == broker.broker_id:
                 broker.deliver(sids, event, publish_id=publish_id)
             else:
+                if tracer.enabled:
+                    tracer.record(
+                        "notify", broker=broker.broker_id, trace_id=publish_id,
+                        owner=owner, matched=len(sids),
+                    )
                 self.network.send(
                     broker.broker_id,
                     owner,

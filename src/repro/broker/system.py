@@ -33,6 +33,9 @@ from repro.network.metrics import NetworkMetrics
 from repro.network.reliable import ReliableNetwork, RetryPolicy
 from repro.network.simulator import Network
 from repro.network.topology import Topology
+from repro.obs.audit import SummaryAuditor, paranoid_enabled
+from repro.obs.metrics import MetricsRegistry, collect_system_metrics
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.summary.precision import Precision
 from repro.wire.codec import ValueWidth, WireCodec
 from repro.wire.messages import Message, MessageCodec
@@ -102,6 +105,8 @@ class SummaryPubSub:
         matcher: str = "reference",
         reliability: Optional[RetryPolicy] = None,
         dedup_capacity: int = 4096,
+        tracer: Optional[Tracer] = None,
+        paranoid: Optional[bool] = None,
     ):
         self.topology = topology
         self.schema = schema
@@ -111,6 +116,25 @@ class SummaryPubSub:
         self.matcher = matcher
         #: Per-broker publish-id LRU size (at-least-once dedup window).
         self.dedup_capacity = dedup_capacity
+        #: Event-lifecycle tracer shared by router/propagation/brokers;
+        #: :data:`~repro.obs.tracing.NULL_TRACER` (one attribute check per
+        #: stage) unless a live :class:`~repro.obs.tracing.Tracer` is given.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Paranoid mode: defaults to the ``REPRO_PARANOID`` env switch.
+        #: When on, a :class:`~repro.obs.audit.SummaryAuditor` re-validates
+        #: summary/store invariants after every unsubscribe, propagation
+        #: period and full refresh (plus an O(#brokers) dedup-capacity
+        #: check per publish), and brokers cross-check compiled-vs-
+        #: reference match parity on every event.
+        self.paranoid = paranoid_enabled() if paranoid is None else bool(paranoid)
+        self.auditor: Optional[SummaryAuditor] = (
+            SummaryAuditor(schema) if self.paranoid else None
+        )
+        #: The deployment-wide ``c2`` capacity; every broker's store
+        #: enforces it at subscribe time (:class:`~repro.summary
+        #: .maintenance.IdSpaceExhausted`) so overflow can never surface
+        #: as a codec error deep inside a propagation period.
+        self.max_subscriptions = max_subscriptions
         self.id_codec = IdCodec(
             num_brokers=topology.num_brokers,
             max_subscriptions=max_subscriptions,
@@ -152,6 +176,8 @@ class SummaryPubSub:
         self.brokers: Dict[int, SummaryBroker] = {}
         for broker_id in topology.brokers:
             broker = self._create_broker(broker_id)
+            broker.tracer = self.tracer
+            broker.paranoid = self.paranoid
             self.brokers[broker_id] = broker
             self.network.attach(broker_id, _Dispatcher(self, broker_id))
 
@@ -159,7 +185,22 @@ class SummaryPubSub:
             self.network, self.brokers, policy=propagation_policy
         )
         self.router = EventRouter(self.network, self.brokers)
+        self.propagation.tracer = self.tracer
+        self.router.tracer = self.tracer
         self._wire_failure_listener()
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """(Re)bind a tracer to every traced component.
+
+        Call this after construction to start tracing, or after an
+        extension swaps :attr:`router` (``enable_locality`` /
+        ``enable_virtual_degrees``) to keep the replacement traced.
+        """
+        self.tracer = tracer
+        self.router.tracer = tracer
+        self.propagation.tracer = tracer
+        for broker in self.brokers.values():
+            broker.tracer = tracer
 
     def _wire_failure_listener(self) -> None:
         """Let the router re-route searches the reliable transport gave up
@@ -183,6 +224,7 @@ class SummaryPubSub:
             on_delivery=self._record_delivery,
             matcher=self.matcher,
             dedup_capacity=self.dedup_capacity,
+            max_subscriptions=self.max_subscriptions,
         )
 
     # -- client operations -------------------------------------------------------
@@ -191,19 +233,29 @@ class SummaryPubSub:
         return self.brokers[broker_id].subscribe(subscription)
 
     def unsubscribe(self, broker_id: int, sid: SubscriptionId) -> bool:
-        return self.brokers[broker_id].unsubscribe(sid)
+        removed = self.brokers[broker_id].unsubscribe(sid)
+        if removed and self.auditor is not None:
+            # Unsubscription is exactly where summary/store divergence
+            # starts (stale kept rows, stale period deltas) — re-validate
+            # the affected broker while the trail is short.
+            self.auditor.assert_clean(self.brokers[broker_id])
+        return removed
 
     def run_propagation_period(self) -> Dict[str, int]:
         """Propagate pending batches (Algorithm 2); returns the phase's
         cumulative metric snapshot."""
         self.network.metrics = self.propagation_metrics
         self.propagation.run_period()
+        if self.auditor is not None:
+            self.auditor.assert_clean(self)
         return self.propagation_metrics.snapshot()
 
     def run_full_refresh(self) -> Dict[str, int]:
         """Rebuild and re-propagate complete summaries (post-churn)."""
         self.network.metrics = self.propagation_metrics
         self.propagation.run_full_refresh()
+        if self.auditor is not None:
+            self.auditor.assert_clean(self)
         return self.propagation_metrics.snapshot()
 
     def publish(self, broker_id: int, event: Event) -> PublishResult:
@@ -214,6 +266,10 @@ class SummaryPubSub:
         mark = len(self._delivery_log)
         start = getattr(self.network, "now", None)
         self.router.publish(broker_id, event)
+        if self.auditor is not None:
+            # Publishing never mutates summaries; the cheap O(#brokers)
+            # dedup-capacity check is the only invariant it can break.
+            self.auditor.audit_dedup(self)
         after = self.event_metrics.snapshot()
         deliveries = self._delivery_log[mark:]
         latency_ms = None
@@ -230,6 +286,11 @@ class SummaryPubSub:
         )
 
     # -- measurement helpers ------------------------------------------------------
+
+    def collect_metrics(self) -> MetricsRegistry:
+        """One flat registry over every counter the system keeps (broker,
+        both network phases, reliability, router, trace histograms)."""
+        return collect_system_metrics(self)
 
     def total_summary_storage(self) -> int:
         """Total bytes of kept (multi-broker) summaries across all brokers —

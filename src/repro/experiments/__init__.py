@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: F401  (re-exported driver modules)
     scale,
     sensitivity,
     tables,
+    traced_run,
 )
 from repro.experiments.common import ExperimentResult, format_table, geometric_ratio
 
@@ -36,4 +37,5 @@ __all__ = [
     "format_table",
     "geometric_ratio",
     "tables",
+    "traced_run",
 ]

@@ -30,6 +30,7 @@ from repro.experiments import (
     scale,
     sensitivity,
     tables,
+    traced_run,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "robustness": lambda quick: robustness.run(quick=quick),
     "churn": lambda quick: churn.run(quick=quick),
     "federation": lambda quick: federation.run(quick=quick),
+    "traced": lambda quick: traced_run.run(quick=quick),
 }
 
 

@@ -185,6 +185,7 @@ class AdvertisingPubSub(SummaryPubSub):
             self.precision,
             on_delivery=self._record_delivery,
             matcher=self.matcher,
+            max_subscriptions=self.max_subscriptions,
         )
 
     # -- producer operations ------------------------------------------------------

@@ -122,6 +122,7 @@ class HybridPubSub(SummaryPubSub):
             on_delivery=self._record_delivery,
             matcher=self.matcher,
             dedup_capacity=self.dedup_capacity,
+            max_subscriptions=self.max_subscriptions,
         )
 
     def total_suppressed(self) -> int:

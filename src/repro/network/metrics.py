@@ -125,6 +125,19 @@ class NetworkMetrics:
         self.per_broker_bytes.clear()
         self.per_pair_bytes.clear()
 
+    def contribute(self, registry, prefix: str) -> None:
+        """Pour this ledger into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Scalar totals become ``{prefix}.{field}`` counters; the per-broker /
+        per-pair breakdowns stay out of the flat namespace (they live in the
+        raw :meth:`snapshot` and the paper figures) but their cardinalities
+        are exposed as gauges so a report can flag surprising fan-out.
+        """
+        for name, value in self.snapshot().items():
+            registry.counter(f"{prefix}.{name}").inc(value)
+        registry.gauge(f"{prefix}.active_senders").set(len(self.per_broker_sent))
+        registry.gauge(f"{prefix}.active_pairs").set(len(self.per_pair_bytes))
+
     def snapshot(self) -> Dict[str, int]:
         return {
             "messages": self.messages,

@@ -1,0 +1,53 @@
+"""repro.obs — observability subsystem: tracing, metrics, invariant audits.
+
+Three cooperating parts, each usable alone:
+
+* :mod:`repro.obs.tracing` — structured per-stage spans of the event
+  pipeline (publish → BROCLI hop → summary match → re-check → delivery)
+  and of propagation periods, exported as JSONL for
+  :mod:`repro.analysis.tracereport`.
+* :mod:`repro.obs.metrics` — one :class:`MetricsRegistry` namespace
+  unifying the counters previously scattered across broker, network,
+  transport and router layers; embedded in
+  :class:`~repro.analysis.report.SystemReport`.
+* :mod:`repro.obs.audit` — the :class:`SummaryAuditor` "paranoid mode"
+  (``REPRO_PARANOID=1``) that re-validates summary/store invariants after
+  every mutation batch and turns silent divergence into a loud
+  :class:`AuditError`.
+"""
+
+from repro.obs.audit import (
+    PARANOID_ENV,
+    AuditError,
+    SummaryAuditor,
+    Violation,
+    audit_sample_limit,
+    paranoid_enabled,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_system_metrics,
+)
+from repro.obs.tracing import NULL_TRACER, PIPELINE_KINDS, NullTracer, Span, Tracer
+
+__all__ = [
+    "PARANOID_ENV",
+    "AuditError",
+    "SummaryAuditor",
+    "Violation",
+    "audit_sample_limit",
+    "paranoid_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_system_metrics",
+    "NULL_TRACER",
+    "PIPELINE_KINDS",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

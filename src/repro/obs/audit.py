@@ -1,0 +1,454 @@
+"""SummaryAuditor — paranoid runtime invariant checks for summary state.
+
+At scale, the failure mode Shi et al. (arXiv:1811.07088) warn about for
+aggregated subscription matching is *silent divergence*: a kept summary
+that no longer reflects the raw subscription store keeps routing (or keeps
+over-routing) without any test noticing until a figure comes out wrong.
+The auditor turns that class of bug into an immediate, descriptive error.
+
+Invariants checked (per broker, against its kept multi-broker summary):
+
+1.  **AACS structure** — sub-range rows sorted by ``(lo, lo_open)`` and
+    pairwise disjoint; the sorted equality-key index mirrors the equality
+    map; no row carries an empty id list.
+2.  **SACS structure** — no empty id lists; literal rows are keyed by
+    their own literal value (and that value matches the row's pattern).
+3.  **c3-mask accounting** — an id may only appear in the structure of an
+    attribute whose ``c3`` bit it carries; Algorithm 1's
+    ``hit-count == popcount(c3)`` termination rule is meaningless
+    otherwise.  (Presence on *every* constrained attribute is checked via
+    sampling, see 5 — a contradictory constraint legitimately inserts
+    nothing.)
+4.  **Local liveness** — every id owned by this broker that appears in
+    its kept summary, pending batch or in-flight period delta must still
+    exist in the raw store.  This is the check that catches the
+    unsubscribe-mid-period resurrection bug (see
+    ``SummaryBroker.unsubscribe``).
+5.  **Sampled coverage soundness** — for a bounded sample of stored
+    subscriptions, attribute values that satisfy the *original*
+    constraints must be admitted by the summarized structures (COARSE may
+    widen, never narrow).  Arithmetic samples come from the satisfied
+    interval set; string samples from the constraint operands.
+6.  **Compiled-snapshot accounting** — a fresh compiled snapshot must
+    intern exactly the summary's ids with per-slot thresholds equal to
+    ``popcount(c3)``.
+7.  **Dedup capacity** — the publish-id LRU tables never exceed their
+    configured capacity.
+
+The auditor inspects private structure fields on purpose: it exists to
+distrust the public API.  Enable system-wide paranoid mode with
+``REPRO_PARANOID=1`` (see :class:`~repro.broker.system.SummaryPubSub`);
+``REPRO_AUDIT_SAMPLE`` bounds the per-audit soundness sample (default 64).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.constraints import Constraint, Operator
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.summary.intervals import Interval, intervals_for_conjunction
+from repro.summary.summary import BrokerSummary
+
+__all__ = [
+    "AuditError",
+    "SummaryAuditor",
+    "Violation",
+    "paranoid_enabled",
+    "audit_sample_limit",
+]
+
+#: Environment switch for system-wide paranoid mode.
+PARANOID_ENV = "REPRO_PARANOID"
+#: Environment override for the per-audit soundness sample size.
+SAMPLE_ENV = "REPRO_AUDIT_SAMPLE"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def paranoid_enabled() -> bool:
+    """Whether ``REPRO_PARANOID`` requests paranoid mode (default off)."""
+    return os.environ.get(PARANOID_ENV, "").strip().lower() not in _FALSY
+
+
+def audit_sample_limit(default: int = 64) -> int:
+    """The configured soundness sample size (``REPRO_AUDIT_SAMPLE``)."""
+    raw = os.environ.get(SAMPLE_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(0, value)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant."""
+
+    check: str  # invariant family, e.g. "local-liveness"
+    broker: int  # -1 for system-level findings
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"broker {self.broker}" if self.broker >= 0 else "system"
+        return f"[{self.check}] {where}: {self.detail}"
+
+
+class AuditError(AssertionError):
+    """Raised when paranoid mode finds invariant violations."""
+
+    def __init__(self, violations: Sequence[Violation]):
+        self.violations = list(violations)
+        lines = [f"summary audit failed ({len(self.violations)} violation(s)):"]
+        lines += [f"  {violation}" for violation in self.violations]
+        super().__init__("\n".join(lines))
+
+
+class SummaryAuditor:
+    """Checks summary/store invariants on brokers and whole systems."""
+
+    def __init__(self, schema: Schema, sample_limit: Optional[int] = None):
+        self.schema = schema
+        self.sample_limit = (
+            audit_sample_limit() if sample_limit is None else max(0, sample_limit)
+        )
+        #: Cumulative number of audits executed (observability of the
+        #: observer: CI asserts the paranoid hooks actually fired).
+        self.audits_run = 0
+
+    # -- entry points --------------------------------------------------------
+
+    def audit_broker(self, broker) -> List[Violation]:
+        """All violations found on one :class:`SummaryBroker`."""
+        self.audits_run += 1
+        violations: List[Violation] = []
+        bid = broker.broker_id
+        self._check_summary_structures(broker.kept_summary, bid, violations)
+        if broker.delta_summary is not None:
+            self._check_summary_structures(
+                broker.delta_summary, bid, violations, label="delta"
+            )
+        self._check_local_liveness(broker, violations)
+        self._check_sampled_soundness(broker, violations)
+        self._check_compiled_accounting(broker, violations)
+        self._check_dedup_capacity(broker, violations)
+        return violations
+
+    def audit_system(self, system) -> List[Violation]:
+        """Audit every broker plus the cross-broker invariants."""
+        violations: List[Violation] = []
+        all_brokers = set(system.brokers)
+        for broker_id in sorted(system.brokers):
+            broker = system.brokers[broker_id]
+            violations.extend(self.audit_broker(broker))
+            if broker.broker_id not in broker.merged_brokers:
+                violations.append(Violation(
+                    "merged-brokers", broker_id,
+                    "Merged_Brokers does not contain the broker itself",
+                ))
+            if not broker.merged_brokers <= all_brokers:
+                violations.append(Violation(
+                    "merged-brokers", broker_id,
+                    f"Merged_Brokers references unknown brokers "
+                    f"{sorted(broker.merged_brokers - all_brokers)}",
+                ))
+            if broker.delta_summary is None and broker.delta_brokers:
+                violations.append(Violation(
+                    "period-scratch", broker_id,
+                    "delta_brokers non-empty outside a propagation period",
+                ))
+        return violations
+
+    def assert_clean(self, target) -> None:
+        """Audit a broker or a system; raise :class:`AuditError` on findings."""
+        if hasattr(target, "brokers"):
+            violations = self.audit_system(target)
+        else:
+            violations = self.audit_broker(target)
+        if violations:
+            raise AuditError(violations)
+
+    def audit_dedup(self, system) -> None:
+        """The O(#brokers) post-publish check: dedup tables in bounds."""
+        violations: List[Violation] = []
+        for broker in system.brokers.values():
+            self._check_dedup_capacity(broker, violations)
+        if violations:
+            raise AuditError(violations)
+
+    # -- invariant families ----------------------------------------------------
+
+    def _check_summary_structures(
+        self,
+        summary: BrokerSummary,
+        broker_id: int,
+        violations: List[Violation],
+        label: str = "kept",
+    ) -> None:
+        for name, aacs in summary.arithmetic_structures().items():
+            where = f"{label} AACS[{name}]"
+            rows = aacs.range_rows()
+            for prev, row in zip(rows, rows[1:]):
+                if _row_key(prev.interval) > _row_key(row.interval):
+                    violations.append(Violation(
+                        "aacs-order", broker_id,
+                        f"{where} rows out of order: {prev.interval} after "
+                        f"{row.interval}",
+                    ))
+                if prev.interval.overlaps(row.interval):
+                    violations.append(Violation(
+                        "aacs-disjoint", broker_id,
+                        f"{where} rows overlap: {prev.interval} and {row.interval}",
+                    ))
+            for row in rows:
+                if not row.ids:
+                    violations.append(Violation(
+                        "aacs-empty-row", broker_id,
+                        f"{where} row {row.interval} has an empty id list",
+                    ))
+            eq_keys = list(aacs._eq_keys)
+            if eq_keys != sorted(aacs._equalities):
+                violations.append(Violation(
+                    "aacs-eq-index", broker_id,
+                    f"{where} sorted-key index diverged from the equality map",
+                ))
+            for value, ids in aacs._equalities.items():
+                if not ids:
+                    violations.append(Violation(
+                        "aacs-empty-row", broker_id,
+                        f"{where} equality row {value} has an empty id list",
+                    ))
+            self._check_mask_bits(name, aacs.all_ids(), broker_id, where, violations)
+        for name, sacs in summary.string_structures().items():
+            where = f"{label} SACS[{name}]"
+            for row in sacs.rows():
+                if not row.ids:
+                    violations.append(Violation(
+                        "sacs-empty-row", broker_id,
+                        f"{where} row {row.pattern.wire_text()!r} has an "
+                        f"empty id list",
+                    ))
+            for value, row in sacs._literals.items():
+                if not row.pattern.matches(value):
+                    violations.append(Violation(
+                        "sacs-literal-key", broker_id,
+                        f"{where} literal row keyed {value!r} does not match "
+                        f"its own key",
+                    ))
+            self._check_mask_bits(name, sacs.all_ids(), broker_id, where, violations)
+
+    def _check_mask_bits(
+        self,
+        name: str,
+        ids: Iterable[SubscriptionId],
+        broker_id: int,
+        where: str,
+        violations: List[Violation],
+    ) -> None:
+        if name not in self.schema:
+            violations.append(Violation(
+                "schema-attr", broker_id,
+                f"{where}: attribute {name!r} is not in the schema",
+            ))
+            return
+        position = self.schema.position(name)
+        bad = [sid for sid in ids if not sid.constrains(position)]
+        for sid in itertools.islice(bad, 3):
+            violations.append(Violation(
+                "c3-accounting", broker_id,
+                f"{where} lists {sid} whose c3 mask does not claim "
+                f"attribute {name!r} — Algorithm 1's hit-count == "
+                f"popcount(c3) rule is broken for it",
+            ))
+
+    def _check_local_liveness(self, broker, violations: List[Violation]) -> None:
+        live = broker.store.ids()
+        bid = broker.broker_id
+        dead_kept = {
+            sid for sid in broker.kept_summary.all_ids()
+            if sid.broker == bid and sid not in live
+        }
+        for sid in sorted(dead_kept)[:3]:
+            violations.append(Violation(
+                "local-liveness", bid,
+                f"kept summary lists own id {sid} with no store entry "
+                f"(unsubscribed id resurrected?)",
+            ))
+        dead_pending = {sid for sid, _sub in broker.pending if sid not in live}
+        for sid in sorted(dead_pending)[:3]:
+            violations.append(Violation(
+                "local-liveness", bid,
+                f"pending batch lists {sid} with no store entry",
+            ))
+        if broker.delta_summary is not None:
+            dead_delta = {
+                sid for sid in broker.delta_summary.all_ids()
+                if sid.broker == bid and sid not in live
+            }
+            for sid in sorted(dead_delta)[:3]:
+                violations.append(Violation(
+                    "local-liveness", bid,
+                    f"in-flight period delta lists own id {sid} with no "
+                    f"store entry — finish_period() would resurrect it",
+                ))
+
+    def _check_sampled_soundness(self, broker, violations: List[Violation]) -> None:
+        if not self.sample_limit:
+            return
+        summary = broker.kept_summary
+        kept_ids = summary.all_ids()
+        bid = broker.broker_id
+        sampled = 0
+        for sid, subscription in broker.store.items():
+            if sampled >= self.sample_limit:
+                break
+            if sid not in kept_ids:
+                continue  # not yet propagated into the kept summary
+            sampled += 1
+            for name in subscription.attribute_names:
+                constraints = subscription.constraints_on(name)
+                for value in _sample_satisfying_values(
+                    constraints, self.schema.type_of(name).is_string
+                ):
+                    admitted = summary.collect_attribute_ids(name, value)
+                    if sid not in admitted:
+                        violations.append(Violation(
+                            "coverage-soundness", bid,
+                            f"value {value!r} satisfies {sid}'s constraints "
+                            f"on {name!r} but the summary does not admit the "
+                            f"id (summaries may widen, never narrow)",
+                        ))
+
+    def _check_compiled_accounting(self, broker, violations: List[Violation]) -> None:
+        compiled = getattr(broker, "_compiled", None)
+        if compiled is None or compiled.is_stale:
+            return  # staleness is legal: snapshots rebuild lazily
+        if compiled.summary is not broker.kept_summary:
+            return  # rebinding happens lazily on the next match
+        bid = broker.broker_id
+        ids = compiled._ids
+        required = compiled._required
+        if len(ids) != len(required):
+            violations.append(Violation(
+                "compiled-accounting", bid,
+                f"compiled snapshot has {len(ids)} interned ids but "
+                f"{len(required)} thresholds",
+            ))
+            return
+        for slot, sid in enumerate(ids):
+            if required[slot] != sid.attribute_count:
+                violations.append(Violation(
+                    "compiled-accounting", bid,
+                    f"slot {slot} threshold {required[slot]} != "
+                    f"popcount(c3) = {sid.attribute_count} for {sid}",
+                ))
+                break
+        if set(ids) != broker.kept_summary.all_ids():
+            violations.append(Violation(
+                "compiled-accounting", bid,
+                "compiled snapshot id set diverged from the summary it "
+                "claims to mirror",
+            ))
+
+    def _check_dedup_capacity(self, broker, violations: List[Violation]) -> None:
+        capacity = broker.dedup_capacity
+        for label, size in (
+            ("routed", broker.routed_dedup_size),
+            ("delivered", broker.delivered_dedup_size),
+        ):
+            if size > capacity:
+                violations.append(Violation(
+                    "dedup-capacity", broker.broker_id,
+                    f"{label} publish-id table holds {size} entries, "
+                    f"capacity {capacity}",
+                ))
+
+    # -- parity helper (used by paranoid match and by tests) ---------------------
+
+    @staticmethod
+    def check_match_parity(broker, event) -> Optional[Violation]:
+        """Compiled-vs-reference parity for one event (None when clean)."""
+        from repro.summary.compiled import CompiledMatcher
+
+        compiled = getattr(broker, "_compiled", None)
+        if compiled is None or compiled.summary is not broker.kept_summary:
+            compiled = CompiledMatcher(broker.kept_summary)
+        fast = compiled.match(event)
+        reference = broker.kept_summary.match(event)
+        if fast == reference:
+            return None
+        return Violation(
+            "match-parity", broker.broker_id,
+            f"compiled/reference disagree on {event!r}: "
+            f"only-compiled={sorted(fast - reference)[:3]} "
+            f"only-reference={sorted(reference - fast)[:3]}",
+        )
+
+
+# -- sampling helpers -------------------------------------------------------------
+
+
+def _row_key(interval: Interval) -> Tuple[float, int]:
+    return (interval.lo, 1 if interval.lo_open else 0)
+
+
+def _interval_sample(interval: Interval) -> Optional[float]:
+    """One value inside ``interval`` (None only for pathological bounds)."""
+    if interval.is_point:
+        return interval.lo
+    lo, hi = interval.lo, interval.hi
+    if math.isinf(lo) and math.isinf(hi):
+        return 0.0
+    if math.isinf(lo):
+        return hi - 1.0 if interval.hi_open else hi
+    if math.isinf(hi):
+        return lo + 1.0 if interval.lo_open else lo
+    mid = (lo + hi) / 2.0
+    return mid if interval.contains(mid) else None
+
+
+def _sample_satisfying_values(
+    constraints: Sequence[Constraint], is_string: bool, limit: int = 2
+) -> List[object]:
+    """Up to ``limit`` values satisfying an attribute's full conjunction.
+
+    Best-effort by design: a constraint set we cannot solve contributes no
+    samples (never a false violation).  Every returned value is verified
+    against the ground-truth :meth:`Constraint.matches` before use.
+    """
+    if is_string:
+        candidates: List[str] = []
+        for constraint in constraints:
+            operand = constraint.value
+            if not isinstance(operand, str):  # pragma: no cover - defensive
+                continue
+            if constraint.operator is Operator.MATCHES:
+                candidates.append(operand.replace("*", ""))
+            elif constraint.operator is Operator.NE:
+                candidates.append(operand + "_x")
+            else:  # EQ, PREFIX, SUFFIX, CONTAINS: the operand satisfies itself
+                candidates.append(operand)
+        satisfying = []
+        for value in candidates:
+            if all(c.matches(value) for c in constraints):
+                satisfying.append(value)
+            if len(satisfying) >= limit:
+                break
+        return satisfying
+    values: List[object] = []
+    for interval in intervals_for_conjunction(constraints):
+        sample = _interval_sample(interval)
+        if sample is None:
+            continue
+        if all(c.matches(sample) for c in constraints):
+            values.append(sample)
+        if len(values) >= limit:
+            break
+    return values

@@ -29,25 +29,66 @@ from repro.model.subscriptions import Subscription
 from repro.summary.precision import Precision
 from repro.summary.summary import BrokerSummary
 
-__all__ = ["SubscriptionStore", "MaintainedSummary"]
+__all__ = ["IdSpaceExhausted", "SubscriptionStore", "MaintainedSummary"]
+
+
+class IdSpaceExhausted(RuntimeError):
+    """The broker's ``c2`` id space is used up.
+
+    Raised *at subscribe time* when a store configured with
+    ``max_subscriptions`` would mint a local id the deployment's
+    :class:`~repro.model.ids.IdCodec` cannot encode.  Without the cap the
+    overflow only surfaced as a ``ValueError`` from ``IdCodec.pack`` deep
+    inside the next propagation period — long after the client believed
+    its subscription was accepted.
+    """
 
 
 class SubscriptionStore:
-    """A broker's raw subscription table with ``c2`` id allocation."""
+    """A broker's raw subscription table with ``c2`` id allocation.
 
-    def __init__(self, schema: Schema, broker_id: int):
+    ``max_subscriptions`` (optional) caps the id *counter*, mirroring the
+    codec's ``c2`` field width: ids are never reused, so the cap limits
+    total mints, not concurrent live subscriptions — exactly the wire
+    format's constraint.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        broker_id: int,
+        max_subscriptions: Optional[int] = None,
+    ):
         if broker_id < 0:
             raise ValueError("broker id must be non-negative")
+        if max_subscriptions is not None and max_subscriptions < 1:
+            raise ValueError("max_subscriptions must be positive when given")
         self.schema = schema
         self.broker_id = broker_id
+        self.max_subscriptions = max_subscriptions
         self._subscriptions: Dict[SubscriptionId, Subscription] = {}
         self._next_local_id = 0
 
     # -- membership ----------------------------------------------------------
 
+    def _check_capacity(self, local_id: int) -> None:
+        if self.max_subscriptions is not None and local_id >= self.max_subscriptions:
+            raise IdSpaceExhausted(
+                f"broker {self.broker_id} has minted all "
+                f"{self.max_subscriptions} local subscription ids the "
+                f"deployment's id codec can encode (c2 space exhausted); "
+                f"ids are never reused, so this counts total subscribes, "
+                f"not live subscriptions"
+            )
+
     def subscribe(self, subscription: Subscription) -> SubscriptionId:
-        """Store a subscription and mint its (c1, c2, c3) id."""
+        """Store a subscription and mint its (c1, c2, c3) id.
+
+        Raises :class:`IdSpaceExhausted` (not a deep codec error at
+        wire-encode time) when the configured ``c2`` space is used up.
+        """
         self.schema.validate_subscription(subscription)
+        self._check_capacity(self._next_local_id)
         sid = SubscriptionId(
             broker=self.broker_id,
             local_id=self._next_local_id,
@@ -78,6 +119,7 @@ class SubscriptionStore:
         if sid in self._subscriptions:
             raise ValueError(f"duplicate restore of {sid}")
         self.schema.validate_subscription(subscription)
+        self._check_capacity(sid.local_id)
         self._subscriptions[sid] = subscription
         self._next_local_id = max(self._next_local_id, sid.local_id + 1)
 

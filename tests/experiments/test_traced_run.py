@@ -1,0 +1,37 @@
+"""The traced end-to-end experiment (observability smoke)."""
+
+from __future__ import annotations
+
+from repro.experiments.traced_run import main, run, run_traced_system
+
+
+def test_run_traced_system_exercises_the_full_pipeline():
+    system, tracer = run_traced_system(quick=True)
+    kinds = {span.kind for span in tracer.spans}
+    # The run must hit every pipeline stage, including the delivery tail.
+    assert {
+        "publish", "route_hop", "summary_match", "notify", "recheck",
+        "delivery", "propagation_period", "summary_send", "full_refresh",
+    } <= kinds
+    # Paranoid mode was live and the hooks fired with zero violations.
+    assert system.auditor is not None
+    assert system.auditor.audits_run > 0
+
+
+def test_run_returns_stage_table():
+    result = run(quick=True)
+    assert result.name == "traced"
+    stages = [row["stage"] for row in result.rows]
+    assert "publish" in stages and "delivery" in stages
+    assert any("paranoid mode on" in note for note in result.notes)
+    assert any("spans recorded" in note for note in result.notes)
+
+
+def test_main_writes_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    report = tmp_path / "report.txt"
+    assert main(["--trace-out", str(trace), "--report-out", str(report)]) == 0
+    assert trace.exists() and trace.read_text().count("\n") > 10
+    assert "slowest publishes" in report.read_text()
+    out = capsys.readouterr().out
+    assert "paranoid audits" in out

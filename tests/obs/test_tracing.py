@@ -1,0 +1,129 @@
+"""Unit tests for the span tracer (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    PIPELINE_KINDS,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: returns scripted instants."""
+
+    def __init__(self, *instants: float):
+        self.instants = list(instants)
+
+    def __call__(self) -> float:
+        return self.instants.pop(0) if self.instants else 99.0
+
+
+def test_span_context_manager_measures_and_notes():
+    # epoch=10.0; span enter=10.5, exit=10.502 -> t=500000us, dur=2000us
+    tracer = Tracer(clock=FakeClock(10.0, 10.5, 10.502))
+    with tracer.span("summary_match", broker=3, trace_id=7, engine="x") as s:
+        s.note(matched=4)
+    assert len(tracer) == 1
+    span = tracer.spans[0]
+    assert span.kind == "summary_match"
+    assert span.broker == 3
+    assert span.trace_id == 7
+    assert span.t_us == pytest.approx(500_000.0)
+    assert span.dur_us == pytest.approx(2_000.0)
+    assert span.fields == {"engine": "x", "matched": 4}
+
+
+def test_record_is_instantaneous():
+    tracer = Tracer(clock=FakeClock(0.0, 1.0))
+    tracer.record("notify", broker=2, trace_id=9, owner=5)
+    (span,) = tracer.spans
+    assert span.dur_us == 0.0
+    assert span.t_us == pytest.approx(1_000_000.0)
+    assert span.fields == {"owner": 5}
+
+
+def test_span_records_error_field_on_exception():
+    tracer = Tracer(clock=FakeClock(0.0, 0.0, 0.001))
+    with pytest.raises(RuntimeError):
+        with tracer.span("publish", broker=1):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans
+    assert span.fields["error"] == "RuntimeError"
+
+
+def test_seq_is_global_record_order():
+    tracer = Tracer()
+    for _ in range(3):
+        tracer.record("delivery", broker=0)
+    with tracer.span("recheck", broker=0):
+        pass
+    assert [s.seq for s in tracer.spans] == [0, 1, 2, 3]
+
+
+def test_spans_of_and_traces_grouping():
+    tracer = Tracer()
+    tracer.record("route_hop", broker=0, trace_id=1)
+    tracer.record("route_hop", broker=1, trace_id=1)
+    tracer.record("notify", broker=1, trace_id=2)
+    assert len(tracer.spans_of("route_hop")) == 2
+    assert len(tracer.spans_of("notify")) == 1
+    groups = tracer.traces()
+    assert set(groups) == {1, 2}
+    assert [s.broker for s in groups[1]] == [0, 1]  # record order preserved
+
+
+def test_clear_resets_spans():
+    tracer = Tracer()
+    tracer.record("publish")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer(clock=FakeClock(0.0, 0.25, 0.5))
+    with tracer.span("publish", broker=4, trace_id=123, attributes=7):
+        pass
+    tracer.record("delivery", broker=4, trace_id=123, count=2)
+    path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["kind"] == "publish"
+    assert first["trace"] == 123
+    assert first["fields"] == {"attributes": 7}
+    # fields key is omitted when empty? delivery has fields -> present
+    second = json.loads(lines[1])
+    assert second["dur_us"] == 0.0
+
+
+def test_as_dict_omits_empty_fields():
+    span = Span("route_hop", broker=0, trace_id=0, t_us=1.0, dur_us=2.0, seq=0)
+    assert "fields" not in span.as_dict()
+
+
+def test_pipeline_kinds_cover_the_event_path():
+    for kind in ("publish", "route_hop", "summary_match", "notify",
+                 "recheck", "delivery", "propagation_period",
+                 "summary_send", "full_refresh"):
+        assert kind in PIPELINE_KINDS
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    with NULL_TRACER.span("publish", broker=0, trace_id=1) as s:
+        s.note(anything=1)
+    NULL_TRACER.record("delivery", broker=0)
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.spans == ()
+
+
+def test_live_tracer_is_enabled_for_hot_path_guards():
+    assert Tracer().enabled is True

@@ -1,0 +1,81 @@
+"""Id-space capacity: IdSpaceExhausted at subscribe time, not pack time.
+
+``max_subscriptions`` caps the store's id *counter* — ids are never
+reused, so the cap bounds total mints exactly like the wire codec's ``c2``
+field width bounds encodable ids.  Before the cap existed, overflowing the
+field only surfaced as a ``ValueError`` inside ``IdCodec.pack`` during the
+*next propagation period*, long after the client was told "subscribed".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker.broker import SummaryBroker
+from repro.broker.system import SummaryPubSub
+from repro.network.topology import paper_example_tree
+from repro.summary.maintenance import IdSpaceExhausted, SubscriptionStore
+
+
+def test_cap_limits_total_mints(schema, paper_subscriptions, small_workload):
+    store = SubscriptionStore(schema, broker_id=0, max_subscriptions=2)
+    s1, s2 = paper_subscriptions
+    sid1 = store.subscribe(s1)
+    store.subscribe(s2)
+    with pytest.raises(IdSpaceExhausted, match="minted all 2"):
+        store.subscribe(s1)
+    # Ids are never reused: freeing a slot does NOT reopen the counter.
+    store.unsubscribe(sid1)
+    with pytest.raises(IdSpaceExhausted):
+        store.subscribe(s1)
+    assert len(store) == 1  # the failed subscribes left no residue
+
+
+def test_uncapped_store_unaffected(schema, paper_subscriptions):
+    store = SubscriptionStore(schema, broker_id=0)
+    for _ in range(5):
+        store.subscribe(paper_subscriptions[0])
+    assert len(store) == 5
+
+
+def test_cap_must_be_positive(schema):
+    for bad in (0, -1):
+        with pytest.raises(ValueError):
+            SubscriptionStore(schema, broker_id=0, max_subscriptions=bad)
+
+
+def test_restore_respects_the_cap(schema, paper_subscriptions):
+    donor = SubscriptionStore(schema, broker_id=0)
+    sids = [donor.subscribe(s) for s in paper_subscriptions]
+    capped = SubscriptionStore(schema, broker_id=0, max_subscriptions=1)
+    capped.restore(sids[0], paper_subscriptions[0])  # local_id 0: fits
+    with pytest.raises(IdSpaceExhausted):
+        capped.restore(sids[1], paper_subscriptions[1])  # local_id 1: over
+
+
+def test_broker_forwards_the_cap(schema, paper_subscriptions):
+    broker = SummaryBroker(0, schema, max_subscriptions=1)
+    broker.subscribe(paper_subscriptions[0])
+    with pytest.raises(IdSpaceExhausted):
+        broker.subscribe(paper_subscriptions[1])
+    assert len(broker.pending) == 1  # the rejected subscribe left no residue
+
+
+def test_system_forwards_the_cap(small_workload):
+    system = SummaryPubSub(
+        paper_example_tree(), small_workload.schema, max_subscriptions=2
+    )
+    system.subscribe(0, small_workload.subscription())
+    system.subscribe(0, small_workload.subscription())
+    with pytest.raises(IdSpaceExhausted):
+        system.subscribe(0, small_workload.subscription())
+    # Per-broker id spaces are independent: broker 1 is untouched.
+    system.subscribe(1, small_workload.subscription())
+    system.run_propagation_period()  # the accepted ids still propagate fine
+
+
+def test_exhaustion_message_names_the_broker(schema, paper_subscriptions):
+    store = SubscriptionStore(schema, broker_id=7, max_subscriptions=1)
+    store.subscribe(paper_subscriptions[0])
+    with pytest.raises(IdSpaceExhausted, match="broker 7"):
+        store.subscribe(paper_subscriptions[1])
