@@ -1,0 +1,103 @@
+"""Live-runtime soak: sustained publish throughput and end-to-end latency.
+
+The acceptance surface for the asyncio runtime: >=10k publishes pushed
+through a 4-broker TCP cluster without deadlock, reporting events/sec and
+the p50/p99 publish->notify pipeline latency.  Latencies come from the
+shared :class:`~repro.obs.tracing.Tracer`: the router opens a ``publish``
+span at the origin broker and records a ``notify`` event at each
+consumer, both keyed by the (epoch-namespaced, cluster-unique) publish
+id, so one subtraction per delivery yields the broker-pipeline latency —
+ingest, match, BROCLI routing over real sockets, and consumer hand-off.
+
+Run directly (not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_live_throughput.py -s
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.network import Topology
+from repro.obs.tracing import Tracer
+from repro.runtime.cluster import LocalCluster
+from repro.workload.stocks import StockWorkload
+
+EVENTS = 10_000
+SUBS_PER_BROKER = 8
+FLUSH_EVERY = 500
+SOAK_TIMEOUT = 300.0  # the no-deadlock guarantee, enforced hard
+
+
+def percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+@pytest.mark.slow
+def test_soak_10k_publishes_4_brokers():
+    topology = Topology.line(4)
+    workload = StockWorkload(seed=42)
+    tracer = Tracer()
+
+    async def soak():
+        cluster = LocalCluster(topology, workload.schema, tracer=tracer)
+        await cluster.start()
+        try:
+            for broker_id in topology.brokers:
+                subscriber = await cluster.subscriber(broker_id)
+                for _ in range(SUBS_PER_BROKER):
+                    await subscriber.subscribe(workload.subscription())
+            await cluster.run_propagation_period()
+
+            producers = [await cluster.producer(b) for b in topology.brokers]
+            started = time.perf_counter()
+            for index in range(EVENTS):
+                producer = producers[index % len(producers)]
+                await producer.publish(workload.tick())
+                if index % FLUSH_EVERY == FLUSH_EVERY - 1:
+                    # Periodic barrier: keeps socket buffers bounded and
+                    # proves forward progress throughout the soak.
+                    await producer.flush()
+            await cluster.settle()
+            elapsed = time.perf_counter() - started
+            notified = sum(len(s.deliveries) for s in cluster._subscribers)
+            stalls = cluster.metrics().backpressure_stalls
+            return elapsed, notified, stalls
+        finally:
+            await cluster.stop(drain=False)
+
+    async def with_deadline():
+        return await asyncio.wait_for(soak(), SOAK_TIMEOUT)
+
+    elapsed, notified, stalls = asyncio.run(with_deadline())
+
+    publish_starts = {
+        span.trace_id: span.t_us for span in tracer.spans_of("publish")
+    }
+    notify_records = tracer.spans_of("notify")
+    assert len(publish_starts) == EVENTS, "a publish vanished"
+    assert all(
+        record.trace_id in publish_starts for record in notify_records
+    ), "orphan notify: no matching publish span"
+    # One notify record per (broker, event); ``notified`` counts per-sid
+    # hand-offs, so it is at least as large.
+    latencies_ms = sorted(
+        (record.t_us - publish_starts[record.trace_id]) / 1000.0
+        for record in notify_records
+    )
+    assert notified >= len(latencies_ms) > 0, "soak matched nothing"
+    assert latencies_ms[0] >= 0.0
+
+    throughput = EVENTS / elapsed
+    p50 = percentile(latencies_ms, 0.50)
+    p99 = percentile(latencies_ms, 0.99)
+    print(
+        f"\nlive soak: {EVENTS} publishes over {topology.num_brokers} brokers "
+        f"in {elapsed:.2f}s = {throughput:,.0f} events/sec; "
+        f"{notified} notifications; publish->notify latency "
+        f"p50={p50:.3f}ms p99={p99:.3f}ms; {stalls} backpressure stalls"
+    )
+    # Sanity floor only — absolute numbers belong to EXPERIMENTS.md.
+    assert throughput > 100, f"implausibly slow: {throughput:.0f} ev/s"

@@ -40,6 +40,12 @@ from repro.model import (
     stock_schema,
 )
 from repro.network import Network, Topology, cable_wireless_24, paper_example_tree
+from repro.runtime import (
+    BrokerRuntime,
+    LocalCluster,
+    ProducerSession,
+    SubscriberSession,
+)
 from repro.siena import SienaProbModel, SienaPubSub
 from repro.summary import (
     AACS,
@@ -61,6 +67,7 @@ __all__ = [
     "AttributeSpec",
     "AttributeType",
     "BroadcastPubSub",
+    "BrokerRuntime",
     "BrokerSummary",
     "CompiledMatcher",
     "Consumer",
@@ -68,12 +75,14 @@ __all__ = [
     "Delivery",
     "Event",
     "IdCodec",
+    "LocalCluster",
     "MaintainedSummary",
     "NaiveMatcher",
     "Network",
     "Operator",
     "Precision",
     "Producer",
+    "ProducerSession",
     "PublishResult",
     "Query",
     "SACS",
@@ -83,6 +92,7 @@ __all__ = [
     "StockWorkload",
     "Subscription",
     "SubscriptionId",
+    "SubscriberSession",
     "SubscriptionStore",
     "SummaryBroker",
     "SummaryPubSub",

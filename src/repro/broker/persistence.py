@@ -15,10 +15,17 @@ tables).  ``save_system``/``load_system`` snapshot a whole
 :class:`~repro.broker.system.SummaryPubSub` to a directory and rebuild an
 equivalent one — the recovery test asserts the rebuilt system routes
 byte-for-byte identically.
+
+All snapshot writes are atomic (temp file + fsync + ``os.replace``), so a
+crash mid-save leaves either the previous complete snapshot or the new
+one, never a torn prefix; :func:`save_broker` exposes the single-broker
+unit the live runtime's graceful drain uses.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import List, Union
 
@@ -26,7 +33,15 @@ from repro.broker.broker import SummaryBroker
 from repro.broker.system import SummaryPubSub
 from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, WireCodec
 
-__all__ = ["SnapshotCodec", "save_system", "load_system", "SNAPSHOT_MAGIC"]
+__all__ = [
+    "SnapshotCodec",
+    "save_broker",
+    "save_system",
+    "load_system",
+    "snapshot_path",
+    "write_snapshot_atomic",
+    "SNAPSHOT_MAGIC",
+]
 
 PathLike = Union[str, Path]
 
@@ -66,12 +81,38 @@ class SnapshotCodec:
         return writer.getvalue()
 
     def restore_broker(self, data: bytes, broker: SummaryBroker) -> None:
-        """Load a snapshot into a freshly-constructed (empty) broker."""
+        """Load a snapshot into a freshly-constructed (empty) broker.
+
+        Any malformation — bad/absent :data:`SNAPSHOT_MAGIC`, truncation
+        (e.g. a write torn by a crash on a filesystem without atomic
+        rename), or corrupt interior tables — surfaces as a
+        :class:`~repro.wire.codec.CodecError` naming the snapshot, never a
+        cryptic struct/KeyError from deep inside the codec.
+        """
         if len(broker.store) or broker.pending:
             raise ValueError("snapshots restore into empty brokers only")
+        try:
+            self._restore_broker_body(data, broker)
+        except CodecError as exc:
+            raise CodecError(
+                f"corrupt snapshot for broker {broker.broker_id}: {exc}"
+            ) from exc
+        except (ValueError, KeyError, TypeError, OverflowError) as exc:
+            raise CodecError(
+                f"corrupt snapshot for broker {broker.broker_id}: {exc!r}"
+            ) from exc
+
+    def _restore_broker_body(self, data: bytes, broker: SummaryBroker) -> None:
         reader = ByteReader(data)
+        if len(data) < len(SNAPSHOT_MAGIC):
+            raise CodecError(
+                f"truncated header: {len(data)} bytes, "
+                f"need at least {len(SNAPSHOT_MAGIC)} (bad or torn write?)"
+            )
         if reader.raw(len(SNAPSHOT_MAGIC)) != SNAPSHOT_MAGIC:
-            raise CodecError("not a broker snapshot (bad magic)")
+            raise CodecError(
+                f"not a broker snapshot (bad magic, expected {SNAPSHOT_MAGIC!r})"
+            )
         broker_id = reader.varint()
         if broker_id != broker.broker_id:
             raise CodecError(
@@ -106,15 +147,61 @@ class SnapshotCodec:
         broker.clear_dedup()
 
 
+def write_snapshot_atomic(path: Path, data: bytes) -> None:
+    """Write snapshot bytes so a crash can never leave a torn file.
+
+    The bytes go to a temp file *in the same directory* (``os.replace`` is
+    only atomic within one filesystem) and are fsynced before the rename,
+    so after a crash the target is either the complete old snapshot or the
+    complete new one — never a prefix.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def snapshot_path(directory: PathLike, broker_id: int) -> Path:
+    """Canonical ``broker-<id>.snap`` location inside a snapshot dir."""
+    return Path(directory) / f"broker-{broker_id}.snap"
+
+
+def save_broker(broker: SummaryBroker, directory: PathLike, wire: WireCodec) -> Path:
+    """Atomically snapshot one broker to ``<directory>/broker-<id>.snap``.
+
+    This is the unit the live runtime's graceful drain uses (one
+    :class:`~repro.runtime.server.BrokerRuntime` owns one broker); the
+    whole-system :func:`save_system` is a loop over it.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = snapshot_path(target, broker.broker_id)
+    write_snapshot_atomic(path, SnapshotCodec(wire).encode_broker(broker))
+    return path
+
+
 def save_system(system: SummaryPubSub, directory: PathLike) -> List[Path]:
-    """Snapshot every broker to ``<directory>/broker-<id>.snap``."""
+    """Snapshot every broker to ``<directory>/broker-<id>.snap`` (each file
+    written atomically — see :func:`write_snapshot_atomic`)."""
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     codec = SnapshotCodec(system.wire)
     written: List[Path] = []
     for broker_id, broker in sorted(system.brokers.items()):
-        path = target / f"broker-{broker_id}.snap"
-        path.write_bytes(codec.encode_broker(broker))
+        path = snapshot_path(target, broker_id)
+        write_snapshot_atomic(path, codec.encode_broker(broker))
         written.append(path)
     return written
 
@@ -125,11 +212,27 @@ def load_system(system: SummaryPubSub, directory: PathLike) -> SummaryPubSub:
     The caller constructs the empty system (topology, schema, precision and
     codec parameters must match the saved deployment — the snapshot format
     carries subscriptions, not configuration).
+
+    Every broker in the topology must have its snapshot, and every
+    ``broker-*.snap`` file in the directory must belong to a broker in the
+    topology: a stray snapshot means the directory was written by a
+    *different* deployment (more brokers, different numbering), and
+    silently ignoring it would half-restore that deployment's state.
     """
     source = Path(directory)
+    expected = {snapshot_path(source, b).name for b in system.brokers}
+    strays = sorted(
+        p.name for p in source.glob("broker-*.snap") if p.name not in expected
+    )
+    if strays:
+        raise ValueError(
+            f"snapshot directory {source} holds snapshots for brokers not in "
+            f"this topology ({', '.join(strays)}); refusing to half-restore a "
+            f"mismatched deployment"
+        )
     codec = SnapshotCodec(system.wire)
     for broker_id, broker in sorted(system.brokers.items()):
-        path = source / f"broker-{broker_id}.snap"
+        path = snapshot_path(source, broker_id)
         if not path.exists():
             raise FileNotFoundError(f"missing snapshot for broker {broker_id}: {path}")
         codec.restore_broker(path.read_bytes(), broker)

@@ -42,7 +42,7 @@ from repro.network.simulator import Network
 from repro.obs.tracing import NULL_TRACER
 from repro.wire.messages import Message, SummaryMessage
 
-__all__ = ["PropagationEngine", "TargetPolicy"]
+__all__ = ["PropagationEngine", "TargetPolicy", "select_period_target"]
 
 
 class TargetPolicy(enum.Enum):
@@ -50,6 +50,31 @@ class TargetPolicy(enum.Enum):
 
     HIGHEST_DEGREE = "highest"  # funnel towards hubs (experiment default)
     SMALLEST_DEGREE = "smallest"  # the paper's literal load-balancing hint
+
+
+def select_period_target(
+    topology, broker: SummaryBroker, policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE
+) -> Optional[int]:
+    """Algorithm 2 step 2's target: the not-yet-contacted neighbor of
+    equal-or-higher degree preferred by ``policy`` (smallest id on ties),
+    or None when no eligible neighbor remains.
+
+    Shared by the round-based :class:`PropagationEngine` and the live
+    :class:`~repro.runtime.server.BrokerRuntime`, so both substrates make
+    identical propagation-routing decisions for the same broker state.
+    """
+    own_degree = topology.degree(broker.broker_id)
+    candidates = [
+        neighbor
+        for neighbor in topology.neighbors(broker.broker_id)
+        if neighbor not in broker.contacted
+        and topology.degree(neighbor) >= own_degree
+    ]
+    if not candidates:
+        return None
+    if policy is TargetPolicy.SMALLEST_DEGREE:
+        return min(candidates, key=lambda nb: (topology.degree(nb), nb))
+    return min(candidates, key=lambda nb: (-topology.degree(nb), nb))
 
 
 class PropagationEngine:
@@ -123,21 +148,8 @@ class PropagationEngine:
         self.network.send(broker.broker_id, target, message)
 
     def _select_target(self, broker: SummaryBroker) -> Optional[int]:
-        """The not-yet-contacted neighbor of equal-or-higher degree
-        preferred by the configured policy (smallest id on ties), or None."""
-        topology = self.network.topology
-        own_degree = topology.degree(broker.broker_id)
-        candidates = [
-            neighbor
-            for neighbor in topology.neighbors(broker.broker_id)
-            if neighbor not in broker.contacted
-            and topology.degree(neighbor) >= own_degree
-        ]
-        if not candidates:
-            return None
-        if self.policy is TargetPolicy.SMALLEST_DEGREE:
-            return min(candidates, key=lambda nb: (topology.degree(nb), nb))
-        return min(candidates, key=lambda nb: (-topology.degree(nb), nb))
+        """See :func:`select_period_target` (shared with the live runtime)."""
+        return select_period_target(self.network.topology, broker, self.policy)
 
     # -- full refresh ---------------------------------------------------------------
 

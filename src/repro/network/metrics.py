@@ -56,6 +56,12 @@ class NetworkMetrics:
     retransmit_bytes: int = 0  # size x path length of the re-sends
     send_failures: int = 0  # transfers abandoned (retry budget exhausted)
 
+    # -- live-runtime flow control (repro.runtime) --
+    #: producer stalls: a send found its peer/session outbound queue full
+    #: and had to block until the writer drained (bounded-queue
+    #: backpressure doing its job — high counts mean a slow consumer).
+    backpressure_stalls: int = 0
+
     def record(self, src: int, dst: int, size: int, path_length: int) -> None:
         if size < 0 or path_length < 0:
             raise ValueError("size and path length must be non-negative")
@@ -83,6 +89,10 @@ class NetworkMetrics:
     def record_send_failure(self) -> None:
         self.send_failures += 1
 
+    def record_stall(self) -> None:
+        """Count one producer blocked on a full bounded outbound queue."""
+        self.backpressure_stalls += 1
+
     @property
     def reliability_bytes(self) -> int:
         """Total bytes spent on the reliability layer (ACKs + re-sends)."""
@@ -99,6 +109,7 @@ class NetworkMetrics:
         self.retransmits += other.retransmits
         self.retransmit_bytes += other.retransmit_bytes
         self.send_failures += other.send_failures
+        self.backpressure_stalls += other.backpressure_stalls
         for table_name in (
             "per_broker_sent",
             "per_broker_received",
@@ -120,6 +131,7 @@ class NetworkMetrics:
         self.retransmits = 0
         self.retransmit_bytes = 0
         self.send_failures = 0
+        self.backpressure_stalls = 0
         self.per_broker_sent.clear()
         self.per_broker_received.clear()
         self.per_broker_bytes.clear()
@@ -150,6 +162,7 @@ class NetworkMetrics:
             "retransmits": self.retransmits,
             "retransmit_bytes": self.retransmit_bytes,
             "send_failures": self.send_failures,
+            "backpressure_stalls": self.backpressure_stalls,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,239 @@
+"""Async client sessions for the live runtime.
+
+Two session types, matching the paper's two client roles:
+
+* :class:`ProducerSession` — an Event Source.  ``publish`` sends one
+  :class:`~repro.wire.messages.EventMessage` with an empty BROCLI and
+  publish id 0; the ingress broker mints the real id and runs Algorithm 3.
+* :class:`SubscriberSession` — an Event Displayer.  ``subscribe`` /
+  ``unsubscribe`` are request/response over SUB_ACK frames (correlated by
+  ``request_id``, because the same connection carries asynchronous NOTIFY
+  frames); deliveries accumulate in :attr:`SubscriberSession.deliveries`
+  and optionally fan out to a callback.
+
+Both sessions expose ``flush()``, the PING/PONG barrier: frames on one
+connection are processed in order and the PONG is queued *behind* any
+pending NOTIFYs, so a returned ``flush()`` proves every earlier frame of
+this session was fully processed by the broker and every notification the
+broker had queued for it was already transmitted.  (It says nothing about
+frames still travelling between *brokers* — that is
+:meth:`~repro.runtime.cluster.LocalCluster.quiesce`'s job.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.subscriptions import Subscription
+from repro.runtime.framing import MAX_FRAME_BYTES, FrameConnection
+from repro.wire.codec import CodecError
+from repro.wire.messages import (
+    EventMessage,
+    HelloMessage,
+    MessageCodec,
+    NotifyMessage,
+    PingMessage,
+    PongMessage,
+    ROLE_PRODUCER,
+    ROLE_SUBSCRIBER,
+    SubAckMessage,
+    SubscribeMessage,
+    UnsubscribeMessage,
+)
+
+__all__ = ["ProducerSession", "SubscriberSession", "SubscribeError"]
+
+
+class SubscribeError(RuntimeError):
+    """The broker rejected a subscribe/unsubscribe request."""
+
+
+class _SessionBase:
+    _identities = itertools.count(1)
+
+    def __init__(self, conn: FrameConnection, identity: int):
+        self._conn = conn
+        self.identity = identity
+        self._tokens = itertools.count(1)
+        self._request_ids = itertools.count(1)
+
+    @classmethod
+    async def _open(
+        cls,
+        role: int,
+        host: str,
+        port: int,
+        codec: MessageCodec,
+        identity: Optional[int] = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        reader, writer = await asyncio.open_connection(host, port)
+        conn = FrameConnection(reader, writer, codec, max_frame_bytes)
+        if identity is None:
+            identity = next(cls._identities)
+        await conn.send(HelloMessage(role=role, identity=identity))
+        return cls(conn, identity)
+
+    async def close(self) -> None:
+        await self._conn.close()
+
+
+class ProducerSession(_SessionBase):
+    """An Event Source connection: publish events, barrier with flush.
+
+    The broker never initiates frames to a producer, so the session reads
+    inline (only expecting PONGs) instead of running a reader task.
+    """
+
+    @classmethod
+    async def connect(cls, host: str, port: int, codec: MessageCodec,
+                      identity: Optional[int] = None) -> "ProducerSession":
+        return await cls._open(ROLE_PRODUCER, host, port, codec, identity)
+
+    async def publish(self, event: Event) -> None:
+        """Fire-and-forget publish (at-most-once from the client's view
+        until a ``flush`` confirms the broker processed it)."""
+        await self._conn.send(
+            EventMessage(event=event, brocli=frozenset(), publish_id=0)
+        )
+
+    async def flush(self) -> None:
+        """Barrier: returns once the broker has processed every event
+        published on this session so far."""
+        token = next(self._tokens)
+        await self._conn.send(PingMessage(token=token))
+        while True:
+            message = await self._conn.recv()
+            if message is None:
+                raise ConnectionError("broker closed the producer session mid-flush")
+            if isinstance(message, PongMessage) and message.token == token:
+                return
+            if not isinstance(message, PongMessage):
+                raise CodecError(
+                    f"producer session received {type(message).__name__}"
+                )
+
+
+class SubscriberSession(_SessionBase):
+    """An Event Displayer connection: manage subscriptions, collect
+    notifications.
+
+    A background reader task dispatches interleaved SUB_ACK / NOTIFY /
+    PONG frames; ``subscribe``/``unsubscribe``/``flush`` await futures the
+    reader resolves.
+    """
+
+    def __init__(self, conn: FrameConnection, identity: int):
+        super().__init__(conn, identity)
+        #: Every (sid, event) delivered to this session, in arrival order.
+        self.deliveries: List[Tuple[SubscriptionId, Event]] = []
+        #: Optional push hook called as ``callback(sid, event)``.
+        self.on_notify: Optional[Callable[[SubscriptionId, Event], None]] = None
+        #: Ids currently registered through this session.
+        self.sids: List[SubscriptionId] = []
+        self._acks: Dict[int, "asyncio.Future[SubAckMessage]"] = {}
+        self._pongs: Dict[int, "asyncio.Future[None]"] = {}
+        self._reader = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int, codec: MessageCodec,
+                      identity: Optional[int] = None) -> "SubscriberSession":
+        return await cls._open(ROLE_SUBSCRIBER, host, port, codec, identity)
+
+    # -- background reader ---------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                message = await self._conn.recv()
+                if message is None:
+                    error = ConnectionError("broker closed the session")
+                    return
+                if isinstance(message, NotifyMessage):
+                    for sid in sorted(message.matched):
+                        self.deliveries.append((sid, message.event))
+                        if self.on_notify is not None:
+                            self.on_notify(sid, message.event)
+                elif isinstance(message, SubAckMessage):
+                    future = self._acks.pop(message.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(message)
+                elif isinstance(message, PongMessage):
+                    future = self._pongs.pop(message.token, None)
+                    if future is not None and not future.done():
+                        future.set_result(None)
+                else:
+                    error = CodecError(
+                        f"subscriber session received {type(message).__name__}"
+                    )
+                    return
+        except (ConnectionError, OSError, CodecError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionError("session closed")
+            raise
+        finally:
+            failure = error or ConnectionError("session reader stopped")
+            for future in (*self._acks.values(), *self._pongs.values()):
+                if not future.done():
+                    future.set_exception(failure)
+            self._acks.clear()
+            self._pongs.clear()
+
+    # -- requests -------------------------------------------------------------
+
+    async def subscribe(self, subscription: Subscription) -> SubscriptionId:
+        """Register one subscription; returns the broker-minted id."""
+        ack = await self._request(
+            lambda rid: SubscribeMessage(request_id=rid, subscription=subscription)
+        )
+        if not ack.ok:
+            raise SubscribeError(ack.error or "subscribe rejected")
+        self.sids.append(ack.sid)
+        return ack.sid
+
+    async def unsubscribe(self, sid: SubscriptionId) -> None:
+        ack = await self._request(
+            lambda rid: UnsubscribeMessage(request_id=rid, sid=sid)
+        )
+        if not ack.ok:
+            raise SubscribeError(ack.error or "unsubscribe rejected")
+        with contextlib.suppress(ValueError):
+            self.sids.remove(sid)
+
+    async def _request(self, build) -> SubAckMessage:
+        request_id = next(self._request_ids)
+        future: "asyncio.Future[SubAckMessage]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._acks[request_id] = future
+        await self._conn.send(build(request_id))
+        return await future
+
+    async def flush(self) -> None:
+        """Barrier: all earlier frames processed, all queued NOTIFYs for
+        this session already transmitted (and therefore in
+        :attr:`deliveries` — the reader task saw them before the PONG)."""
+        token = next(self._tokens)
+        future: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        self._pongs[token] = future
+        await self._conn.send(PingMessage(token=token))
+        await future
+
+    async def close(self) -> None:
+        self._reader.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader
+        await self._conn.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SubscriberSession(#{self.identity}, {len(self.sids)} sids, "
+            f"{len(self.deliveries)} deliveries)"
+        )

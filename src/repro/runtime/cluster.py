@@ -1,0 +1,319 @@
+"""Boot a whole overlay of live brokers on localhost.
+
+:class:`LocalCluster` creates one :class:`~repro.runtime.server
+.BrokerRuntime` per topology node (all in the current event loop), binds
+each to an ephemeral port, and exchanges the address map — the live
+equivalent of constructing a :class:`~repro.broker.system.SummaryPubSub`.
+It adds the coordination the paper's round-based algorithms assume:
+
+* :meth:`quiesce` — wait until no broker-to-broker frame is queued,
+  in flight, or mid-dispatch anywhere (cluster-wide
+  ``frames_enqueued == frames_processed``, stable across polls).
+* :meth:`run_propagation_period` — Algorithm 2 exactly: brokers act in
+  ascending degree order with a quiesce barrier between iterations (the
+  live analogue of the simulator's ``flush_iteration``), then every
+  broker folds its delta.  Same code path
+  (:func:`~repro.broker.propagation.select_period_target`) as the
+  simulator, so both substrates pick identical targets.
+* :meth:`settle` — producer flushes + quiesce + subscriber flushes: after
+  it returns, every published event has fully routed and every resulting
+  notification is in the subscribers' ``deliveries`` lists.
+
+``repro-cluster`` (see :func:`main`) is the CLI smoke path: boot a named
+topology, drive a seeded stock workload through real sockets, print the
+traffic/delivery summary, optionally drain to snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.broker.persistence import SnapshotCodec, snapshot_path
+from repro.broker.propagation import TargetPolicy
+from repro.model.schema import Schema, stock_schema
+from repro.network.metrics import NetworkMetrics
+from repro.network.topology import Topology
+from repro.runtime.client import ProducerSession, SubscriberSession
+from repro.runtime.server import (
+    DEFAULT_QUEUE_FRAMES,
+    BrokerRuntime,
+    named_topology,
+)
+from repro.summary.precision import Precision
+from repro.wire.codec import ValueWidth
+from repro.workload.stocks import StockWorkload
+
+__all__ = ["LocalCluster", "main"]
+
+
+class LocalCluster:
+    """Every broker of one topology, live on localhost ports."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        schema: Schema,
+        *,
+        precision: Precision = Precision.COARSE,
+        value_width: ValueWidth = ValueWidth.F64,
+        matcher: str = "reference",
+        propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        period_interval: Optional[float] = None,
+        snapshot_dir: Optional[str] = None,
+        host: str = "127.0.0.1",
+        tracer=None,
+        paranoid: Optional[bool] = None,
+    ):
+        self.topology = topology
+        self.schema = schema
+        self.host = host
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self.runtimes: Dict[int, BrokerRuntime] = {
+            broker_id: BrokerRuntime(
+                broker_id,
+                topology,
+                schema,
+                precision=precision,
+                value_width=value_width,
+                matcher=matcher,
+                propagation_policy=propagation_policy,
+                queue_frames=queue_frames,
+                period_interval=period_interval,
+                snapshot_dir=snapshot_dir,
+                host=host,
+                tracer=tracer,
+                paranoid=paranoid,
+            )
+            for broker_id in topology.brokers
+        }
+        self.addresses: Dict[int, Tuple[str, int]] = {}
+        self._producers: List[ProducerSession] = []
+        self._subscribers: List[SubscriberSession] = []
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, restore_from: Optional[str] = None) -> Dict[int, Tuple[str, int]]:
+        """Bind every broker, exchange addresses; optionally restore all
+        broker state from a drained cluster's snapshot directory first.
+        Returns the address map."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        if restore_from is not None:
+            self._restore(Path(restore_from))
+        for broker_id, runtime in sorted(self.runtimes.items()):
+            port = await runtime.start(0)
+            self.addresses[broker_id] = (self.host, port)
+        for runtime in self.runtimes.values():
+            runtime.set_peers(self.addresses)
+        self._started = True
+        return dict(self.addresses)
+
+    def _restore(self, source: Path) -> None:
+        """Load one drained snapshot per broker (same stray/missing rules
+        as :func:`~repro.broker.persistence.load_system`)."""
+        expected = {snapshot_path(source, b).name for b in self.topology.brokers}
+        strays = sorted(
+            p.name for p in source.glob("broker-*.snap") if p.name not in expected
+        )
+        if strays:
+            raise ValueError(
+                f"snapshot directory {source} holds snapshots for brokers not "
+                f"in this topology ({', '.join(strays)}); refusing to "
+                f"half-restore a mismatched deployment"
+            )
+        for broker_id, runtime in sorted(self.runtimes.items()):
+            path = snapshot_path(source, broker_id)
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"missing snapshot for broker {broker_id}: {path}"
+                )
+            SnapshotCodec(runtime.wire).restore_broker(
+                path.read_bytes(), runtime.broker
+            )
+
+    async def stop(self, drain: bool = True) -> List[Path]:
+        """Close client sessions, then shut every broker down (with
+        ``drain``: flush + snapshot when a ``snapshot_dir`` was given).
+        Returns the snapshot paths written."""
+        for session in self._producers + self._subscribers:
+            await session.close()
+        self._producers.clear()
+        self._subscribers.clear()
+        written = await asyncio.gather(
+            *(runtime.shutdown(drain=drain) for runtime in self.runtimes.values())
+        )
+        return [path for path in written if path is not None]
+
+    # -- client sessions -------------------------------------------------------
+
+    async def producer(self, broker_id: int) -> ProducerSession:
+        host, port = self.addresses[broker_id]
+        session = await ProducerSession.connect(
+            host, port, self.runtimes[broker_id].message_codec
+        )
+        self._producers.append(session)
+        return session
+
+    async def subscriber(self, broker_id: int) -> SubscriberSession:
+        host, port = self.addresses[broker_id]
+        session = await SubscriberSession.connect(
+            host, port, self.runtimes[broker_id].message_codec
+        )
+        self._subscribers.append(session)
+        return session
+
+    # -- coordination ----------------------------------------------------------
+
+    async def quiesce(self, timeout: float = 30.0) -> None:
+        """Return when no broker-to-broker frame is anywhere in flight.
+
+        A frame counts as *enqueued* when a broker puts it on a peer
+        queue and *processed* when the receiver has dispatched it AND
+        pumped its downstream sends onto queues — so cluster-wide
+        equality (minus frames dropped on dead links) means every
+        consequence of every send has itself been sent, i.e. true
+        quiescence.  Checked stable across two polls to dodge the one
+        instant a handler sits between its pump and its counter bump.
+        """
+        deadline = asyncio.get_running_loop().time() + timeout
+        stable = 0
+        while stable < 2:
+            enqueued = sum(
+                r.frames_enqueued - r.frames_dropped for r in self.runtimes.values()
+            )
+            processed = sum(r.frames_processed for r in self.runtimes.values())
+            stable = stable + 1 if enqueued == processed else 0
+            if stable < 2:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise asyncio.TimeoutError(
+                        f"cluster did not quiesce within {timeout}s "
+                        f"(enqueued={enqueued}, processed={processed})"
+                    )
+                await asyncio.sleep(0.01)
+
+    async def run_propagation_period(self) -> None:
+        """One coordinated Algorithm-2 period, exactly as the simulator's
+        :class:`~repro.broker.propagation.PropagationEngine` runs it:
+        degree class ``i`` acts at iteration ``i``, and a quiesce barrier
+        stands in for the simulator's per-iteration message flush."""
+        for iteration in range(1, self.topology.max_degree + 1):
+            for broker_id in self.topology.brokers_by_degree(iteration):
+                await self.runtimes[broker_id].period_act()
+            await self.quiesce()
+        for broker_id in sorted(self.runtimes):
+            self.runtimes[broker_id].period_close()
+
+    async def settle(self) -> None:
+        """Drain the whole pipeline: producer flushes (brokers ingested
+        every publish), quiesce (all broker-to-broker routing finished),
+        subscriber flushes (every queued NOTIFY delivered and recorded)."""
+        for session in self._producers:
+            await session.flush()
+        await self.quiesce()
+        for session in self._subscribers:
+            await session.flush()
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> NetworkMetrics:
+        """All brokers' traffic ledgers merged into one."""
+        merged = NetworkMetrics()
+        for runtime in self.runtimes.values():
+            merged.merge(runtime.metrics)
+        return merged
+
+    def total_deliveries(self) -> int:
+        return sum(len(r.broker.deliveries) for r in self.runtimes.values())
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "cold"
+        return (
+            f"LocalCluster({self.topology.num_brokers} brokers, {state}, "
+            f"{len(self._subscribers)} subscribers)"
+        )
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="Boot a live broker overlay on localhost and drive a "
+                    "seeded stock workload through it.",
+    )
+    parser.add_argument("--topology", default="cw24",
+                        help="cw24 | tree13 | line<N> | star<N> | scalefree<N>")
+    parser.add_argument("--subscriptions", type=int, default=4,
+                        help="subscriptions per broker")
+    parser.add_argument("--events", type=int, default=50,
+                        help="events to publish (round-robin over brokers)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--matcher", choices=("reference", "compiled"),
+                        default="reference")
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="drain every broker to snapshots on exit")
+    parser.add_argument("--paranoid", action="store_true")
+    return parser
+
+
+async def _demo(args: argparse.Namespace) -> None:
+    topology = named_topology(args.topology)
+    workload = StockWorkload(seed=args.seed)
+    cluster = LocalCluster(
+        topology,
+        workload.schema,
+        matcher=args.matcher,
+        snapshot_dir=args.snapshot_dir,
+        paranoid=True if args.paranoid else None,
+    )
+    await cluster.start()
+    print(f"cluster up: {topology!r}", flush=True)
+
+    for broker_id in topology.brokers:
+        subscriber = await cluster.subscriber(broker_id)
+        for _ in range(args.subscriptions):
+            await subscriber.subscribe(workload.subscription())
+    await cluster.run_propagation_period()
+    print(
+        f"registered {args.subscriptions * topology.num_brokers} subscriptions, "
+        f"ran one propagation period",
+        flush=True,
+    )
+
+    producers = [await cluster.producer(b) for b in topology.brokers]
+    for index in range(args.events):
+        await producers[index % len(producers)].publish(workload.tick())
+    await cluster.settle()
+
+    metrics = cluster.metrics()
+    notified = sum(len(s.deliveries) for s in cluster._subscribers)
+    print(
+        f"published {args.events} events -> {notified} notifications "
+        f"({cluster.total_deliveries()} broker-side deliveries)",
+        flush=True,
+    )
+    print(
+        f"traffic: {metrics.messages} messages, {metrics.bytes_sent} bytes "
+        f"(charged x path length), {metrics.backpressure_stalls} stalls",
+        flush=True,
+    )
+    written = await cluster.stop(drain=True)
+    if written:
+        print(f"drained {len(written)} snapshots to {args.snapshot_dir}", flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    asyncio.run(_demo(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

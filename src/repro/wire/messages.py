@@ -21,6 +21,25 @@ frames so its overhead is charged in real bytes like everything else:
   id the receiver must acknowledge (the varint id is the per-message
   header cost of reliable delivery).
 * :class:`AckMessage` — the acknowledgement for one transfer id.
+
+The live runtime (:mod:`repro.runtime`) speaks the same codec over real TCP
+connections and adds a small client/peer control plane:
+
+* :class:`HelloMessage` — the mandatory first frame on every connection,
+  naming the peer's role (:data:`ROLE_PEER` with its broker id, or
+  :data:`ROLE_PRODUCER` / :data:`ROLE_SUBSCRIBER` for client sessions).
+* :class:`SubscribeMessage` / :class:`UnsubscribeMessage` — a subscriber
+  session's SUB frames, correlated by a client-chosen ``request_id``.
+* :class:`SubAckMessage` — the broker's reply carrying the minted
+  :class:`~repro.model.ids.SubscriptionId` (or an error string).
+* :class:`PingMessage` / :class:`PongMessage` — an in-order barrier: a PONG
+  proves every frame the client sent before the PING has been processed,
+  and every NOTIFY queued before it has been transmitted.
+
+Producer PUB frames reuse :class:`EventMessage` (empty BROCLI, publish id
+0 — the ingress broker mints the real id) and deliveries to subscriber
+sessions reuse :class:`NotifyMessage`, so the live wire stays the same
+message union the simulator charges bytes for.
 """
 
 from __future__ import annotations
@@ -38,12 +57,21 @@ from repro.wire.codec import ByteReader, ByteWriter, CodecError, WireCodec, _dec
 __all__ = [
     "AckMessage",
     "AdvertisementMessage",
+    "HelloMessage",
     "MessageKind",
+    "PingMessage",
+    "PongMessage",
     "ReliableDataMessage",
+    "ROLE_PEER",
+    "ROLE_PRODUCER",
+    "ROLE_SUBSCRIBER",
     "SummaryMessage",
+    "SubAckMessage",
+    "SubscribeMessage",
     "SubscriptionBatchMessage",
     "EventMessage",
     "NotifyMessage",
+    "UnsubscribeMessage",
     "Message",
     "MessageCodec",
 ]
@@ -57,6 +85,19 @@ class MessageKind(enum.IntEnum):
     ADVERTISEMENT = 4
     ACK = 5
     RELIABLE_DATA = 6
+    # -- live-runtime control plane (repro.runtime) --
+    HELLO = 7
+    SUBSCRIBE = 8
+    SUB_ACK = 9
+    UNSUBSCRIBE = 10
+    PING = 11
+    PONG = 12
+
+
+#: :class:`HelloMessage` roles — who is on the other end of a connection.
+ROLE_PEER = 0  # another broker; ``identity`` is its broker id
+ROLE_PRODUCER = 1  # an Event Source client session
+ROLE_SUBSCRIBER = 2  # an Event Displayer client session
 
 
 @dataclass(frozen=True)
@@ -154,6 +195,87 @@ class ReliableDataMessage:
     kind = MessageKind.RELIABLE_DATA
 
 
+@dataclass(frozen=True)
+class HelloMessage:
+    """First frame on every live-runtime connection: who is speaking.
+
+    ``role`` is one of :data:`ROLE_PEER` / :data:`ROLE_PRODUCER` /
+    :data:`ROLE_SUBSCRIBER`; ``identity`` is the sender's broker id for
+    peers and a free client-chosen tag (default 0) for client sessions.
+    """
+
+    role: int
+    identity: int = 0
+
+    kind = MessageKind.HELLO
+
+
+@dataclass(frozen=True)
+class SubscribeMessage:
+    """A subscriber session's SUB frame: register one subscription.
+
+    ``request_id`` correlates the broker's :class:`SubAckMessage` reply on
+    a connection that also carries asynchronous NOTIFY frames.
+    """
+
+    request_id: int
+    subscription: Subscription
+
+    kind = MessageKind.SUBSCRIBE
+
+
+@dataclass(frozen=True)
+class UnsubscribeMessage:
+    """A subscriber session's request to withdraw one subscription."""
+
+    request_id: int
+    sid: SubscriptionId
+
+    kind = MessageKind.UNSUBSCRIBE
+
+
+@dataclass(frozen=True)
+class SubAckMessage:
+    """The broker's reply to SUBSCRIBE/UNSUBSCRIBE.
+
+    On success ``sid`` carries the minted (or withdrawn) subscription id
+    and ``error`` is empty; on failure ``sid`` is None and ``error`` says
+    why (e.g. id-space exhaustion, unknown sid).
+    """
+
+    request_id: int
+    sid: "SubscriptionId | None" = None
+    error: str = ""
+
+    kind = MessageKind.SUB_ACK
+
+    @property
+    def ok(self) -> bool:
+        return self.sid is not None and not self.error
+
+
+@dataclass(frozen=True)
+class PingMessage:
+    """A client-side barrier probe (see :class:`PongMessage`)."""
+
+    token: int
+
+    kind = MessageKind.PING
+
+
+@dataclass(frozen=True)
+class PongMessage:
+    """Reply to one PING.  Because frames are processed in order and the
+    reply queues behind any pending NOTIFY frames, receiving the PONG
+    proves (a) every frame the client sent before the PING was fully
+    processed by the broker, and (b) every notification enqueued for this
+    session before the PING was already transmitted."""
+
+    token: int
+
+    kind = MessageKind.PONG
+
+
 Message = Union[
     SummaryMessage,
     SubscriptionBatchMessage,
@@ -162,6 +284,12 @@ Message = Union[
     AdvertisementMessage,
     AckMessage,
     ReliableDataMessage,
+    HelloMessage,
+    SubscribeMessage,
+    UnsubscribeMessage,
+    SubAckMessage,
+    PingMessage,
+    PongMessage,
 ]
 
 
@@ -200,6 +328,27 @@ class MessageCodec:
             writer.raw(payload)
         elif isinstance(message, AckMessage):
             writer.varint(message.transfer_id)
+        elif isinstance(message, HelloMessage):
+            if message.role not in (ROLE_PEER, ROLE_PRODUCER, ROLE_SUBSCRIBER):
+                raise CodecError(f"unknown hello role {message.role}")
+            writer.byte(message.role)
+            writer.varint(message.identity)
+        elif isinstance(message, SubscribeMessage):
+            writer.varint(message.request_id)
+            self.wire.write_subscription(writer, message.subscription)
+        elif isinstance(message, UnsubscribeMessage):
+            writer.varint(message.request_id)
+            writer.raw(self.wire.id_codec.to_bytes(message.sid))
+        elif isinstance(message, SubAckMessage):
+            writer.varint(message.request_id)
+            if message.sid is not None:
+                writer.byte(1)
+                writer.raw(self.wire.id_codec.to_bytes(message.sid))
+            else:
+                writer.byte(0)
+                writer.string(message.error)
+        elif isinstance(message, (PingMessage, PongMessage)):
+            writer.varint(message.token)
         elif isinstance(message, ReliableDataMessage):
             if isinstance(message.payload, (AckMessage, ReliableDataMessage)):
                 raise CodecError("reliability frames cannot nest")
@@ -239,6 +388,38 @@ class MessageCodec:
                 message = AdvertisementMessage(entries=tuple(entries))
         elif kind is MessageKind.ACK:
             message = AckMessage(transfer_id=reader.varint())
+        elif kind is MessageKind.HELLO:
+            role = reader.byte()
+            if role not in (ROLE_PEER, ROLE_PRODUCER, ROLE_SUBSCRIBER):
+                raise CodecError(f"unknown hello role {role}")
+            message = HelloMessage(role=role, identity=reader.varint())
+        elif kind is MessageKind.SUBSCRIBE:
+            request_id = reader.varint()
+            message = SubscribeMessage(
+                request_id=request_id,
+                subscription=self.wire.read_subscription(reader),
+            )
+        elif kind is MessageKind.UNSUBSCRIBE:
+            request_id = reader.varint()
+            sid = self.wire.id_codec.from_bytes(
+                reader.raw(self.wire.id_codec.byte_size)
+            )
+            message = UnsubscribeMessage(request_id=request_id, sid=sid)
+        elif kind is MessageKind.SUB_ACK:
+            request_id = reader.varint()
+            if reader.byte():
+                sid = self.wire.id_codec.from_bytes(
+                    reader.raw(self.wire.id_codec.byte_size)
+                )
+                message = SubAckMessage(request_id=request_id, sid=sid)
+            else:
+                message = SubAckMessage(
+                    request_id=request_id, sid=None, error=reader.string()
+                )
+        elif kind is MessageKind.PING:
+            message = PingMessage(token=reader.varint())
+        elif kind is MessageKind.PONG:
+            message = PongMessage(token=reader.varint())
         elif kind is MessageKind.RELIABLE_DATA:
             transfer_id = reader.varint()
             payload_bytes = reader.raw(reader.varint())

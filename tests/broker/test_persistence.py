@@ -8,7 +8,10 @@ from repro.broker.persistence import (
     SNAPSHOT_MAGIC,
     SnapshotCodec,
     load_system,
+    save_broker,
     save_system,
+    snapshot_path,
+    write_snapshot_atomic,
 )
 from repro.broker.system import SummaryPubSub
 from repro.model import parse_subscription
@@ -182,3 +185,62 @@ class TestSystemRecovery:
         assert [path.name for path in written] == [
             "broker-0.snap", "broker-1.snap", "broker-2.snap",
         ]
+
+    def test_stray_snapshot_refused(self, tmp_path, schema):
+        """A directory drained by a bigger deployment must not be half-
+        restored into a smaller one."""
+        system = SummaryPubSub(Topology.line(3), schema)
+        save_system(system, tmp_path)
+        with pytest.raises(ValueError, match="broker-2.snap"):
+            load_system(SummaryPubSub(Topology.line(2), schema), tmp_path)
+
+    def test_unrelated_files_are_not_strays(self, tmp_path, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        save_system(system, tmp_path)
+        (tmp_path / "NOTES.txt").write_text("operator scribbles")
+        load_system(SummaryPubSub(Topology.line(2), schema), tmp_path)
+
+
+class TestAtomicWrites:
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        write_snapshot_atomic(tmp_path / "broker-0.snap", b"payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["broker-0.snap"]
+        assert (tmp_path / "broker-0.snap").read_bytes() == b"payload"
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        target = tmp_path / "broker-0.snap"
+        write_snapshot_atomic(target, b"old state")
+        write_snapshot_atomic(target, b"new state")
+        assert target.read_bytes() == b"new state"
+        assert [p.name for p in tmp_path.iterdir()] == ["broker-0.snap"]
+
+    def test_save_broker_single_file(self, tmp_path, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        sid = system.subscribe(1, parse_subscription(schema, "price > 5"))
+        system.run_propagation_period()
+        path = save_broker(system.brokers[1], tmp_path, system.wire)
+        assert path == snapshot_path(tmp_path, 1)
+        fresh = SummaryPubSub(Topology.line(2), schema)
+        SnapshotCodec(fresh.wire).restore_broker(
+            path.read_bytes(), fresh.brokers[1]
+        )
+        assert sid in fresh.brokers[1].kept_summary.all_ids()
+
+    def test_truncated_snapshot_is_clear_codec_error(self, tmp_path, schema):
+        """A torn write (pre-atomic-rename crash artifact) surfaces as a
+        CodecError naming the broker, not a random unpack exception."""
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(system.brokers[0])
+        fresh = SummaryPubSub(Topology.line(2), schema)
+        for cut in (1, 3, len(SNAPSHOT_MAGIC), len(data) - 1):
+            with pytest.raises(CodecError, match="corrupt snapshot for broker 0"):
+                codec.restore_broker(data[:cut], fresh.brokers[0])
+
+    def test_garbage_interior_is_clear_codec_error(self, schema):
+        system = SummaryPubSub(Topology.line(2), schema)
+        codec = SnapshotCodec(system.wire)
+        data = codec.encode_broker(system.brokers[0])
+        mangled = data[: len(SNAPSHOT_MAGIC)] + b"\xff" * 32
+        with pytest.raises(CodecError, match="corrupt snapshot for broker 0"):
+            codec.restore_broker(mangled, system.brokers[0])

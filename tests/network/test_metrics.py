@@ -53,6 +53,7 @@ class TestLifecycle:
             "retransmits": 0,
             "retransmit_bytes": 0,
             "send_failures": 0,
+            "backpressure_stalls": 0,
         }
         assert metrics.per_broker_sent == {}
 
@@ -95,6 +96,16 @@ class TestReliabilityCounters:
         assert a.send_failures == 1
         a.reset()
         assert a.reliability_bytes == 0 and a.acks == 0 and a.send_failures == 0
+
+    def test_backpressure_stalls_counted_merged_reset(self):
+        a, b = NetworkMetrics(), NetworkMetrics()
+        b.record_stall()
+        b.record_stall()
+        assert b.snapshot()["backpressure_stalls"] == 2
+        a.merge(b)
+        assert a.backpressure_stalls == 2
+        a.reset()
+        assert a.backpressure_stalls == 0
 
     def test_snapshot_is_plain_dict(self):
         metrics = NetworkMetrics()

@@ -1,0 +1,268 @@
+"""Frame protocol edge cases: chunking, corruption, loopback round-trips."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import IdCodec, SubscriptionId, parse_subscription, stock_schema
+from repro.runtime.framing import (
+    FrameAssembler,
+    FrameConnection,
+    LENGTH_BYTES,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.wire.codec import CodecError, ValueWidth, WireCodec
+from repro.wire.messages import (
+    AckMessage,
+    EventMessage,
+    HelloMessage,
+    MessageCodec,
+    MessageKind,
+    NotifyMessage,
+    PingMessage,
+    PongMessage,
+    ReliableDataMessage,
+    ROLE_PEER,
+    ROLE_SUBSCRIBER,
+    SubAckMessage,
+    SubscribeMessage,
+    SubscriptionBatchMessage,
+    AdvertisementMessage,
+    SummaryMessage,
+    UnsubscribeMessage,
+)
+
+
+def make_codec() -> MessageCodec:
+    schema = stock_schema()
+    id_codec = IdCodec(
+        num_brokers=8, max_subscriptions=1 << 20, num_attributes=len(schema)
+    )
+    return MessageCodec(WireCodec(schema, id_codec, ValueWidth.F64))
+
+
+def every_kind_messages(codec: MessageCodec):
+    """One concrete message per MessageKind (the closed union, complete)."""
+    schema = codec.wire.schema
+    subscription = parse_subscription(
+        schema, "symbol = OTE AND price < 8.70 AND price > 8.30"
+    )
+    # c3 mask: symbol is schema position 1, price is position 3.
+    sid = SubscriptionId(broker=3, local_id=7, attr_mask=0b1010)
+    from repro.model import AttributeType, Event
+
+    event = Event.from_pairs(
+        [
+            ("symbol", AttributeType.STRING, "OTE"),
+            ("price", AttributeType.FLOAT, 8.40),
+        ]
+    )
+    from repro.summary import BrokerSummary, Precision
+
+    summary = BrokerSummary(schema, Precision.COARSE)
+    summary.add(subscription, sid)
+    event_msg = EventMessage(event=event, brocli=frozenset({0, 2}), publish_id=9)
+    messages = [
+        SummaryMessage(summary=summary, merged_brokers=frozenset({1, 3})),
+        SubscriptionBatchMessage(entries=((sid, subscription),)),
+        event_msg,
+        NotifyMessage(event=event, matched=frozenset({sid}), publish_id=9),
+        AdvertisementMessage(entries=((sid, subscription),)),
+        AckMessage(transfer_id=44),
+        ReliableDataMessage(transfer_id=45, payload=event_msg),
+        HelloMessage(role=ROLE_PEER, identity=5),
+        SubscribeMessage(request_id=2, subscription=subscription),
+        SubAckMessage(request_id=2, sid=sid),
+        UnsubscribeMessage(request_id=3, sid=sid),
+        PingMessage(token=17),
+        PongMessage(token=17),
+    ]
+    assert {m.kind for m in messages} == set(MessageKind), "union drifted"
+    return messages
+
+
+class TestEncodeFrame:
+    def test_prefix_is_big_endian_length(self):
+        frame = encode_frame(b"abc")
+        assert frame[:LENGTH_BYTES] == (3).to_bytes(LENGTH_BYTES, "big")
+        assert frame[LENGTH_BYTES:] == b"abc"
+
+    def test_zero_payload_rejected(self):
+        with pytest.raises(CodecError, match="zero-length"):
+            encode_frame(b"")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(CodecError, match="exceeds"):
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+
+
+class TestFrameAssembler:
+    def test_byte_at_a_time(self):
+        payloads = [b"a", b"bc", b"x" * 300]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assembler = FrameAssembler()
+        out = []
+        for i in range(len(stream)):
+            out.extend(assembler.feed(stream[i : i + 1]))
+        assert out == payloads
+        assert assembler.at_boundary()
+        assembler.finish()  # clean EOF
+
+    def test_multiple_frames_in_one_chunk(self):
+        stream = encode_frame(b"one") + encode_frame(b"two")
+        assert FrameAssembler().feed(stream) == [b"one", b"two"]
+
+    def test_oversized_prefix_rejected_before_payload(self):
+        bogus = (MAX_FRAME_BYTES + 1).to_bytes(LENGTH_BYTES, "big")
+        assembler = FrameAssembler()
+        with pytest.raises(CodecError, match="exceeds"):
+            assembler.feed(bogus)
+
+    def test_zero_length_prefix_rejected(self):
+        with pytest.raises(CodecError, match="zero-length"):
+            FrameAssembler().feed(b"\x00\x00\x00\x00")
+
+    def test_eof_mid_header_raises_on_finish(self):
+        assembler = FrameAssembler()
+        assembler.feed(b"\x00\x00")
+        assert assembler.buffered == 2
+        with pytest.raises(CodecError, match="mid-frame"):
+            assembler.finish()
+
+    def test_eof_mid_payload_raises_on_finish(self):
+        assembler = FrameAssembler()
+        assembler.feed(encode_frame(b"abcdef")[:-2])
+        with pytest.raises(CodecError, match="mid-frame"):
+            assembler.finish()
+
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=200), max_size=8),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunking_reassembles(self, payloads, data):
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assembler = FrameAssembler()
+        out = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(st.integers(1, len(stream) - position))
+            out.extend(assembler.feed(stream[position : position + step]))
+            position += step
+        assert out == payloads
+        assembler.finish()
+
+
+class TestAsyncReadWrite:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def feed_reader(self, *chunks, eof=True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_clean_eof_between_frames_is_none(self):
+        async def body():
+            reader = self.feed_reader(encode_frame(b"hi"))
+            assert await read_frame(reader) == b"hi"
+            assert await read_frame(reader) is None
+
+        self.run(body())
+
+    def test_eof_mid_header_raises(self):
+        async def body():
+            reader = self.feed_reader(b"\x00\x00\x01")
+            with pytest.raises(CodecError, match="mid-header"):
+                await read_frame(reader)
+
+        self.run(body())
+
+    def test_eof_mid_payload_raises(self):
+        async def body():
+            reader = self.feed_reader(encode_frame(b"payload")[:-3])
+            with pytest.raises(CodecError, match="mid-frame"):
+                await read_frame(reader)
+
+        self.run(body())
+
+    def test_oversized_prefix_rejected_without_reading_payload(self):
+        async def body():
+            # Only the prefix is present; the reader must reject from it
+            # alone instead of waiting for 2**31 bytes that never come.
+            reader = self.feed_reader(
+                (2**31).to_bytes(LENGTH_BYTES, "big"), eof=False
+            )
+            with pytest.raises(CodecError, match="exceeds"):
+                await read_frame(reader)
+
+        self.run(body())
+
+
+class TestLoopbackRoundTrip:
+    def test_every_message_kind_round_trips_over_tcp(self):
+        """Each union member crosses a real socket byte-for-byte."""
+        codec = make_codec()
+        messages = every_kind_messages(codec)
+
+        async def body():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                conn = FrameConnection(reader, writer, codec)
+                while True:
+                    message = await conn.recv()
+                    if message is None:
+                        break
+                    received.append(message)
+                    await conn.send(message)  # echo
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            conn = FrameConnection(reader, writer, codec)
+            echoed = []
+            for message in messages:
+                await conn.send(message)
+                echoed.append(await conn.recv())
+            await conn.close()
+            await done.wait()
+            server.close()
+            await server.wait_closed()
+            return received, echoed
+
+        received, echoed = asyncio.run(body())
+        for original, server_side, echo in zip(messages, received, echoed):
+            assert codec.encode(server_side) == codec.encode(original)
+            assert codec.encode(echo) == codec.encode(original)
+
+    def test_write_frame_then_read_frame(self):
+        async def body():
+            results = {}
+
+            async def handler(reader, writer):
+                results["payload"] = await read_frame(reader)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_frame(writer, b"over the wire")
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = asyncio.run(body())
+        assert results["payload"] == b"over the wire"
