@@ -65,6 +65,7 @@ class SummaryBroker:
         matcher: str = "reference",
         dedup_capacity: int = 4096,
         max_subscriptions: Optional[int] = None,
+        match_cache_size: int = 0,
     ):
         if matcher not in MATCHERS:
             raise ValueError(
@@ -72,10 +73,15 @@ class SummaryBroker:
             )
         if dedup_capacity < 1:
             raise ValueError("dedup capacity must be positive")
+        if match_cache_size < 0:
+            raise ValueError("match cache size must be >= 0")
         self.broker_id = broker_id
         self.schema = schema
         self.precision = precision
         self.matcher = matcher
+        #: LRU entries of the compiled matcher's ``match_many`` cache
+        #: (0 disables caching; only meaningful with ``matcher="compiled"``).
+        self.match_cache_size = match_cache_size
         self.store = SubscriptionStore(schema, broker_id, max_subscriptions)
         self.on_delivery = on_delivery
         #: Lazily (re)built compiled snapshot of ``kept_summary`` when the
@@ -250,16 +256,40 @@ class SummaryBroker:
         """
         self.events_examined += 1
         if self.matcher == "compiled":
-            compiled = self._compiled
-            if compiled is None or compiled.summary is not self.kept_summary:
-                # ``reset_merged_state`` swaps in a brand-new summary object;
-                # rebind the snapshot to whatever is current.
-                compiled = self._compiled = CompiledMatcher(self.kept_summary)
-            matched = compiled.match(event)
+            matched = self._compiled_matcher().match(event)
             if self.paranoid:
                 self._check_match_parity(matched, event)
             return matched
         return self.kept_summary.match(event)
+
+    def match_kept_many(self, events: List[Event]) -> List[Set[SubscriptionId]]:
+        """Match a batch of events against the kept summary, in order.
+
+        The batched form of :meth:`match_kept`: with ``matcher="compiled"``
+        it goes through :meth:`CompiledMatcher.match_many`, which amortizes
+        the staleness check over the batch and (with
+        ``match_cache_size > 0``) serves repeated events from an LRU that
+        a summary-generation bump fully evicts.  The reference matcher
+        falls back to a per-event walk — identical results either way.
+        """
+        self.events_examined += len(events)
+        if self.matcher == "compiled":
+            results = self._compiled_matcher().match_many(events)
+            if self.paranoid:
+                for event, matched in zip(events, results):
+                    self._check_match_parity(matched, event)
+            return results
+        return [self.kept_summary.match(event) for event in events]
+
+    def _compiled_matcher(self) -> CompiledMatcher:
+        compiled = self._compiled
+        if compiled is None or compiled.summary is not self.kept_summary:
+            # ``reset_merged_state`` swaps in a brand-new summary object;
+            # rebind the snapshot to whatever is current.
+            compiled = self._compiled = CompiledMatcher(
+                self.kept_summary, cache_size=self.match_cache_size
+            )
+        return compiled
 
     def _check_match_parity(self, fast: Set[SubscriptionId], event: Event) -> None:
         """Paranoid-mode cross-check: the compiled snapshot must agree with

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.broker.broker import SummaryBroker
 from repro.model.events import Event
@@ -149,6 +149,36 @@ class EventRouter:
             return
         self.process_event(self.brokers[broker_id], event, frozenset(), publish_id)
         self.network.run()
+
+    def publish_batch(self, broker_id: int, events: Sequence[Event]) -> List[int]:
+        """Inject a burst of producer events at one broker and run the
+        distributed processing of all of them to completion.
+
+        Semantically identical to calling :meth:`publish` per event (each
+        event gets its own publish id, BROCLI search and notifications,
+        in order) but the ingress broker's Algorithm-1 check runs once
+        over the whole burst via :meth:`SummaryBroker.match_kept_many` —
+        the batched hot path of the live runtime.  Returns the minted
+        publish ids.
+        """
+        broker = self.brokers[broker_id]
+        ids = [self.next_publish_id(broker_id) for _ in events]
+        tracer = self.tracer
+        if tracer.enabled:
+            for event, publish_id in zip(events, ids):
+                tracer.record(
+                    "publish", broker=broker_id, trace_id=publish_id,
+                    attributes=len(event), batched=True,
+                )
+        self.process_batch(
+            broker,
+            [
+                (event, frozenset(), publish_id)
+                for event, publish_id in zip(events, ids)
+            ],
+        )
+        self.network.run()
+        return ids
 
     def handle_message(self, dst: int, src: int, message: Message) -> bool:
         """Dispatch EVENT and NOTIFY messages; False for other kinds."""
@@ -276,6 +306,66 @@ class EventRouter:
                 )
             else:
                 hop.note(search_complete=True, brocli_out=len(brocli))
+
+    def process_batch(
+        self,
+        broker: SummaryBroker,
+        items: Sequence[Tuple[Event, FrozenSet[int], int]],
+    ) -> None:
+        """Algorithm 3 for a burst of EVENT frames at one broker.
+
+        ``items`` is ``(event, brocli_in, publish_id)`` in arrival order.
+        The result is indistinguishable from calling :meth:`process_event`
+        once per item (asserted by
+        ``tests/broker/test_batch_differential.py``): duplicate publish
+        ids are suppressed through the same LRU, every event still walks
+        its own steps 2–4, and only step 1 — the summary check — is
+        batched through :meth:`SummaryBroker.match_kept_many` so the
+        compiled matcher amortizes staleness checks and serves its
+        ``match_many`` LRU across the burst.
+
+        Batching is sound because EVENT processing never mutates the
+        kept summary or ``Merged_Brokers`` (only SUMMARY frames do, and
+        the runtime's dispatch loop never folds those into a batch), so
+        every event of the burst observes the same broker knowledge it
+        would have observed when processed one at a time.
+        """
+        fresh_items = [
+            item for item in items if broker.first_routing_of(item[2])
+        ]
+        if not fresh_items:
+            return
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "batch_match", broker=broker.broker_id,
+                trace_id=fresh_items[0][2], batch=len(fresh_items),
+                engine=broker.matcher,
+            ) as span:
+                matched_sets = broker.match_kept_many(
+                    [event for event, _brocli, _pid in fresh_items]
+                )
+                span.note(matched=sum(len(m) for m in matched_sets))
+        else:
+            matched_sets = broker.match_kept_many(
+                [event for event, _brocli, _pid in fresh_items]
+            )
+        merged = broker.merged_brokers
+        own = broker.broker_id
+        all_brokers = self._all_brokers
+        for (event, brocli_in, publish_id), matched in zip(
+            fresh_items, matched_sets
+        ):
+            brocli = brocli_in | merged | {own}
+            fresh = {sid for sid in matched if sid.broker not in brocli_in}
+            self._notify_owners(broker, event, fresh, publish_id)
+            if brocli != all_brokers:
+                target = self._next_router(brocli, own)
+                self.network.send(
+                    own,
+                    target,
+                    EventMessage(event=event, brocli=brocli, publish_id=publish_id),
+                )
 
     def _notify_owners(
         self,

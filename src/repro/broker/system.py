@@ -285,6 +285,35 @@ class SummaryPubSub:
             latency_ms=latency_ms,
         )
 
+    def publish_batch(self, broker_id: int, events: List[Event]) -> PublishResult:
+        """Inject a burst of events at one broker (Algorithm 3, batched).
+
+        The ingress broker's summary check runs once over the whole burst
+        (:meth:`EventRouter.publish_batch` →
+        :meth:`~repro.broker.broker.SummaryBroker.match_kept_many`), which
+        is the simulator-side twin of the live runtime's batched dispatch
+        loop; routing decisions, notifications and deliveries are
+        per-event identical to publishing each event on its own (see
+        ``tests/broker/test_batch_differential.py``).  Returns one
+        aggregate :class:`PublishResult` over the burst.
+        """
+        for event in events:
+            self.schema.validate_event(event)
+        self.network.metrics = self.event_metrics
+        before = self.event_metrics.snapshot()
+        mark = len(self._delivery_log)
+        self.event_metrics.record_match_batch(len(events))
+        self.router.publish_batch(broker_id, events)
+        if self.auditor is not None:
+            self.auditor.audit_dedup(self)
+        after = self.event_metrics.snapshot()
+        return PublishResult(
+            deliveries=self._delivery_log[mark:],
+            hops=after["hops"] - before["hops"],
+            messages=after["messages"] - before["messages"],
+            bytes_sent=after["bytes_sent"] - before["bytes_sent"],
+        )
+
     # -- measurement helpers ------------------------------------------------------
 
     def collect_metrics(self) -> MetricsRegistry:

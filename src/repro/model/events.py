@@ -26,6 +26,24 @@ from repro.model.types import AttributeType, AttributeValue, coerce_value
 
 __all__ = ["Event"]
 
+#: Interned (name, type) -> spec pairs.  Event construction from pairs or
+#: keywords re-creates the same handful of specs for every event of a
+#: workload; interning skips the per-instance name validation after the
+#: first sighting (the first construction still validates).  Bounded by a
+#: wholesale clear so a pathological caller cannot grow it without limit.
+_SPEC_INTERN: Dict[Tuple[str, "AttributeType"], AttributeSpec] = {}
+_SPEC_INTERN_LIMIT = 4096
+
+
+def _interned_spec(name: str, typ: "AttributeType") -> AttributeSpec:
+    key = (name, typ)
+    spec = _SPEC_INTERN.get(key)
+    if spec is None:
+        if len(_SPEC_INTERN) >= _SPEC_INTERN_LIMIT:
+            _SPEC_INTERN.clear()
+        spec = _SPEC_INTERN[key] = AttributeSpec(name, typ)
+    return spec
+
 
 class Event:
     """An immutable published event.
@@ -35,7 +53,7 @@ class Event:
     inferred: ``str`` -> STRING, ``int`` -> INTEGER, ``float`` -> FLOAT).
     """
 
-    __slots__ = ("_attrs", "_hash")
+    __slots__ = ("_attrs", "_hash", "_key_memo")
 
     def __init__(self, attributes: Mapping[AttributeSpec, object]):
         attrs: Dict[str, Tuple[AttributeType, AttributeValue]] = {}
@@ -45,6 +63,9 @@ class Event:
             attrs[spec.name] = (spec.type, coerce_value(spec.type, raw))
         self._attrs = attrs
         self._hash: Optional[int] = None
+        self._key_memo: Optional[
+            Tuple[Tuple[str, AttributeType, AttributeValue], ...]
+        ] = None
 
     # -- construction -------------------------------------------------------
 
@@ -53,7 +74,7 @@ class Event:
         """Build an event inferring types from the Python values."""
         attributes: Dict[AttributeSpec, object] = {}
         for name, value in values.items():
-            attributes[AttributeSpec(name, _infer_type(value))] = value
+            attributes[_interned_spec(name, _infer_type(value))] = value
         return cls(attributes)
 
     @classmethod
@@ -61,7 +82,26 @@ class Event:
         cls, pairs: Iterable[Tuple[str, AttributeType, object]]
     ) -> "Event":
         """Build an event from explicit (name, type, value) triples."""
-        return cls({AttributeSpec(name, typ): value for name, typ, value in pairs})
+        return cls({_interned_spec(name, typ): value for name, typ, value in pairs})
+
+    @classmethod
+    def from_typed(
+        cls, attrs: Dict[str, Tuple[AttributeType, AttributeValue]]
+    ) -> "Event":
+        """Trusted constructor for values already in canonical form.
+
+        ``attrs`` is the internal name -> (type, value) layout with values
+        the caller guarantees canonical (the wire codec qualifies: names
+        come from validated schema specs and each value was decoded as
+        its type's canonical Python representation).  Skips the
+        per-attribute spec validation and coercion of ``__init__``; the
+        dict is owned by the event afterwards and must not be mutated.
+        """
+        event = cls.__new__(cls)
+        event._attrs = attrs
+        event._hash = None
+        event._key_memo = None
+        return event
 
     # -- access --------------------------------------------------------------
 
@@ -95,7 +135,11 @@ class Event:
     # -- equality / hashing ---------------------------------------------------
 
     def _key(self) -> Tuple[Tuple[str, AttributeType, AttributeValue], ...]:
-        return tuple(sorted((n, t, v) for n, (t, v) in self._attrs.items()))
+        if self._key_memo is None:
+            self._key_memo = tuple(
+                sorted((n, t, v) for n, (t, v) in self._attrs.items())
+            )
+        return self._key_memo
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Event):

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = ["SubscriptionId", "IdCodec", "popcount"]
 
@@ -96,17 +96,15 @@ class IdCodec:
         self.c1_bits = _bits_for(num_brokers)
         self.c2_bits = _bits_for(max_subscriptions)
         self.c3_bits = num_attributes
-
-    # -- sizes ------------------------------------------------------------------
-
-    @property
-    def total_bits(self) -> int:
-        return self.c1_bits + self.c2_bits + self.c3_bits
-
-    @property
-    def byte_size(self) -> int:
-        """Bytes needed for one packed id on the wire."""
-        return (self.total_bits + 7) // 8
+        #: Total packed width / bytes per id on the wire.  Plain attributes
+        #: (not properties): the wire layer reads them per id.
+        self.total_bits = self.c1_bits + self.c2_bits + self.c3_bits
+        self.byte_size = (self.total_bits + 7) // 8
+        # The live id space is small (active subscriptions), so memoizing
+        # the bytes<->sid conversions turns the per-id bit arithmetic of
+        # every NOTIFY frame into a dict hit.  Bounded by wholesale clear.
+        self._sid_to_bytes: Dict[SubscriptionId, bytes] = {}
+        self._bytes_to_sid: Dict[bytes, SubscriptionId] = {}
 
     # -- int packing ---------------------------------------------------------------
 
@@ -138,12 +136,24 @@ class IdCodec:
     # -- byte packing ------------------------------------------------------------------
 
     def to_bytes(self, sid: SubscriptionId) -> bytes:
-        return self.pack(sid).to_bytes(self.byte_size, "big")
+        data = self._sid_to_bytes.get(sid)
+        if data is None:
+            data = self.pack(sid).to_bytes(self.byte_size, "big")
+            if len(self._sid_to_bytes) >= 65536:
+                self._sid_to_bytes.clear()
+            self._sid_to_bytes[sid] = data
+        return data
 
     def from_bytes(self, data: bytes) -> SubscriptionId:
-        if len(data) != self.byte_size:
-            raise ValueError(f"expected {self.byte_size} bytes, got {len(data)}")
-        return self.unpack(int.from_bytes(data, "big"))
+        sid = self._bytes_to_sid.get(data)
+        if sid is None:
+            if len(data) != self.byte_size:
+                raise ValueError(f"expected {self.byte_size} bytes, got {len(data)}")
+            sid = self.unpack(int.from_bytes(data, "big"))
+            if len(self._bytes_to_sid) >= 65536:
+                self._bytes_to_sid.clear()
+            self._bytes_to_sid[data] = sid
+        return sid
 
     def pack_many(self, sids: Iterable[SubscriptionId]) -> bytes:
         return b"".join(self.to_bytes(sid) for sid in sids)

@@ -61,6 +61,16 @@ class NetworkMetrics:
     #: and had to block until the writer drained (bounded-queue
     #: backpressure doing its job — high counts mean a slow consumer).
     backpressure_stalls: int = 0
+    #: socket writes issued by coalescing writer loops (one per drain).
+    frame_writes: int = 0
+    #: frames that rode those writes — ``coalesced_frames / frame_writes``
+    #: is the frames-per-syscall ratio the batched hot path buys.
+    coalesced_frames: int = 0
+    #: dispatch batches pulled off inbound connections by the runtime.
+    match_batches: int = 0
+    #: EVENT frames matched inside those batches (``batched_events /
+    #: match_batches`` is the average ``batch_size``).
+    batched_events: int = 0
 
     def record(self, src: int, dst: int, size: int, path_length: int) -> None:
         if size < 0 or path_length < 0:
@@ -93,6 +103,21 @@ class NetworkMetrics:
         """Count one producer blocked on a full bounded outbound queue."""
         self.backpressure_stalls += 1
 
+    def record_coalesced_write(self, frames: int) -> None:
+        """Count one socket write carrying ``frames`` queued frames."""
+        self.frame_writes += 1
+        self.coalesced_frames += frames
+
+    def record_match_batch(self, events: int) -> None:
+        """Count one inbound dispatch batch of ``events`` EVENT frames."""
+        self.match_batches += 1
+        self.batched_events += events
+
+    @property
+    def batch_size(self) -> float:
+        """Average EVENT frames matched per dispatch batch."""
+        return self.batched_events / self.match_batches if self.match_batches else 0.0
+
     @property
     def reliability_bytes(self) -> int:
         """Total bytes spent on the reliability layer (ACKs + re-sends)."""
@@ -110,6 +135,10 @@ class NetworkMetrics:
         self.retransmit_bytes += other.retransmit_bytes
         self.send_failures += other.send_failures
         self.backpressure_stalls += other.backpressure_stalls
+        self.frame_writes += other.frame_writes
+        self.coalesced_frames += other.coalesced_frames
+        self.match_batches += other.match_batches
+        self.batched_events += other.batched_events
         for table_name in (
             "per_broker_sent",
             "per_broker_received",
@@ -132,6 +161,10 @@ class NetworkMetrics:
         self.retransmit_bytes = 0
         self.send_failures = 0
         self.backpressure_stalls = 0
+        self.frame_writes = 0
+        self.coalesced_frames = 0
+        self.match_batches = 0
+        self.batched_events = 0
         self.per_broker_sent.clear()
         self.per_broker_received.clear()
         self.per_broker_bytes.clear()
@@ -163,6 +196,10 @@ class NetworkMetrics:
             "retransmit_bytes": self.retransmit_bytes,
             "send_failures": self.send_failures,
             "backpressure_stalls": self.backpressure_stalls,
+            "frame_writes": self.frame_writes,
+            "coalesced_frames": self.coalesced_frames,
+            "match_batches": self.match_batches,
+            "batched_events": self.batched_events,
         }
 
     def __repr__(self) -> str:

@@ -48,6 +48,7 @@ PIPELINE_KINDS: Tuple[str, ...] = (
     "publish",
     "route_hop",
     "summary_match",
+    "batch_match",
     "notify",
     "recheck",
     "delivery",

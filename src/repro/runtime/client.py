@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.events import Event
 from repro.model.ids import SubscriptionId
@@ -100,6 +100,18 @@ class ProducerSession(_SessionBase):
         until a ``flush`` confirms the broker processed it)."""
         await self._conn.send(
             EventMessage(event=event, brocli=frozenset(), publish_id=0)
+        )
+
+    async def publish_many(self, events: Sequence[Event]) -> None:
+        """Publish a burst as one coalesced write (one syscall, one
+        drain).  The broker receives the frames back-to-back, which is
+        exactly the shape its batched dispatch loop feeds to
+        ``match_many`` — the client-side half of the batched hot path."""
+        await self._conn.send_many(
+            [
+                EventMessage(event=event, brocli=frozenset(), publish_id=0)
+                for event in events
+            ]
         )
 
     async def flush(self) -> None:

@@ -39,9 +39,13 @@ from repro.network.metrics import NetworkMetrics
 from repro.network.topology import Topology
 from repro.runtime.client import ProducerSession, SubscriberSession
 from repro.runtime.server import (
+    DEFAULT_BATCH_FRAMES,
+    DEFAULT_MATCH_CACHE,
     DEFAULT_QUEUE_FRAMES,
     BrokerRuntime,
+    maybe_enable_uvloop,
     named_topology,
+    warn_reference_matcher,
 )
 from repro.summary.precision import Precision
 from repro.wire.codec import ValueWidth
@@ -60,9 +64,11 @@ class LocalCluster:
         *,
         precision: Precision = Precision.COARSE,
         value_width: ValueWidth = ValueWidth.F64,
-        matcher: str = "reference",
+        matcher: str = "compiled",
+        match_cache_size: int = DEFAULT_MATCH_CACHE,
         propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        batch_frames: int = DEFAULT_BATCH_FRAMES,
         period_interval: Optional[float] = None,
         snapshot_dir: Optional[str] = None,
         host: str = "127.0.0.1",
@@ -73,24 +79,34 @@ class LocalCluster:
         self.schema = schema
         self.host = host
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
-        self.runtimes: Dict[int, BrokerRuntime] = {
-            broker_id: BrokerRuntime(
+        # All runtimes live in this process, so they share one message
+        # codec: the codec's event/frame memo caches then dedupe encode
+        # and decode work across hops (a real multi-process deployment
+        # keeps per-process codecs and per-process caches).
+        self.runtimes: Dict[int, BrokerRuntime] = {}
+        shared_codec = None
+        for broker_id in topology.brokers:
+            runtime = BrokerRuntime(
                 broker_id,
                 topology,
                 schema,
                 precision=precision,
                 value_width=value_width,
                 matcher=matcher,
+                match_cache_size=match_cache_size,
                 propagation_policy=propagation_policy,
                 queue_frames=queue_frames,
+                batch_frames=batch_frames,
                 period_interval=period_interval,
                 snapshot_dir=snapshot_dir,
                 host=host,
                 tracer=tracer,
                 paranoid=paranoid,
+                message_codec=shared_codec,
             )
-            for broker_id in topology.brokers
-        }
+            if shared_codec is None:
+                shared_codec = runtime.message_codec
+            self.runtimes[broker_id] = runtime
         self.addresses: Dict[int, Tuple[str, int]] = {}
         self._producers: List[ProducerSession] = []
         self._subscribers: List[SubscriberSession] = []
@@ -256,7 +272,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="events to publish (round-robin over brokers)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--matcher", choices=("reference", "compiled"),
-                        default="reference")
+                        default="compiled",
+                        help="event-matching engine (default: compiled — the "
+                             "batched fast path; 'reference' is deprecated on "
+                             "the live path and kept for debugging)")
     parser.add_argument("--snapshot-dir", default=None,
                         help="drain every broker to snapshots on exit")
     parser.add_argument("--paranoid", action="store_true")
@@ -311,6 +330,9 @@ async def _demo(args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.matcher == "reference":
+        warn_reference_matcher("repro-cluster")
+    maybe_enable_uvloop()
     asyncio.run(_demo(args))
     return 0
 

@@ -56,6 +56,7 @@ import asyncio
 import contextlib
 import itertools
 import logging
+import os
 import signal
 import sys
 from pathlib import Path
@@ -99,10 +100,14 @@ from repro.wire.messages import (
 __all__ = [
     "BrokerRuntime",
     "ClientSession",
+    "DEFAULT_BATCH_FRAMES",
+    "DEFAULT_MATCH_CACHE",
     "DEFAULT_QUEUE_FRAMES",
     "PeerLink",
     "RuntimeNetwork",
+    "maybe_enable_uvloop",
     "named_topology",
+    "warn_reference_matcher",
     "main",
 ]
 
@@ -110,11 +115,50 @@ log = logging.getLogger("repro.runtime")
 
 #: Default bound of every outbound queue, in frames.  Small enough that a
 #: stuck consumer stalls its producers within one propagation period's
-#: worth of traffic; large enough to ride out transient scheduling jitter.
-DEFAULT_QUEUE_FRAMES = 64
+#: worth of traffic; large enough that a full inbound dispatch batch can
+#: fan its forwards into a peer lane without tripping backpressure (the
+#: 4-broker soak runs with zero stalls at this setting).
+DEFAULT_QUEUE_FRAMES = 256
+
+#: Default cap on one inbound dispatch batch: how many frames a single
+#: socket read may hand to the engines before the outbox is pumped.  Keeps
+#: latency for frames *behind* a burst bounded while still amortizing the
+#: per-dispatch overhead over many events.  Tail latency scales with this
+#: bound (one batch is one uninterruptible slice of event-loop time), so
+#: it is tuned against the p99 gate in ``benchmarks/test_live_throughput``.
+DEFAULT_BATCH_FRAMES = 128
+
+#: Default :meth:`CompiledMatcher.match_many` LRU size on the live path
+#: (entries; 0 disables).  Repeated identical events — heartbeats, ticker
+#: re-publishes — skip Algorithm 1 entirely on a hit, and a summary
+#: generation bump evicts the whole cache, so staleness is impossible.
+DEFAULT_MATCH_CACHE = 512
 
 #: Default ``c2`` capacity (mirrors the simulator facade).
 DEFAULT_MAX_SUBSCRIPTIONS = 1 << 20
+
+
+def maybe_enable_uvloop() -> bool:
+    """Install uvloop's event-loop policy when ``REPRO_UVLOOP`` is truthy.
+
+    Opt-in (and dependency-optional) by design: the stdlib loop is the
+    portable default, but on CPython + Linux uvloop's libuv reactor cuts
+    per-syscall overhead on exactly the read/write path the batched
+    runtime hammers.  Returns True when uvloop is now the policy.
+    """
+    if os.environ.get("REPRO_UVLOOP", "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    ):
+        return False
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        log.warning("REPRO_UVLOOP is set but uvloop is not installed; "
+                    "falling back to the stdlib event loop")
+        return False
+    uvloop.install()
+    log.info("uvloop event-loop policy installed (REPRO_UVLOOP)")
+    return True
 
 
 class RuntimeNetwork:
@@ -159,6 +203,13 @@ class PeerLink:
     frames to B ride A's outbound connection, B's frames to A ride B's —
     which keeps the hello handshake trivial and frame ordering per
     direction obvious.
+
+    **Coalesced drains.**  Each writer wake-up claims *everything* queued
+    (up to the queue bound) and transmits it as one buffered write + one
+    drain, so a burst of N frames costs one syscall instead of N.  Queue
+    order is preserved, the bounded queue still backpressures producers,
+    and a send failure accounts every frame of the failed batch as
+    dropped (quiesce arithmetic must not wait for them).
     """
 
     def __init__(self, runtime: "BrokerRuntime", peer_id: int,
@@ -181,7 +232,11 @@ class PeerLink:
 
     async def _writer_loop(self) -> None:
         while True:
-            message = await self.queue.get()
+            batch = [await self.queue.get()]
+            # Claim whatever else is already queued — no waiting, order
+            # preserved — so one drain moves the whole burst.
+            while not self.queue.empty():
+                batch.append(self.queue.get_nowait())
             try:
                 conn = self._conn
                 if conn is not None and conn.peer_closed():
@@ -192,18 +247,20 @@ class PeerLink:
                     conn = self._conn = None
                 if conn is None:
                     conn = self._conn = await self._connect()
-                await conn.send(message)
+                await conn.send_many(batch)
+                self.runtime.metrics.record_coalesced_write(len(batch))
             except (ConnectionError, OSError, CodecError) as exc:
                 # TCP is reliable while up; a failure means the peer is
-                # down.  Count the loss (quiesce arithmetic must not wait
-                # for a frame that will never be processed) and drop the
-                # connection so the next frame retries from scratch.
+                # down.  Count the losses (quiesce arithmetic must not
+                # wait for frames that will never be processed) and drop
+                # the connection so the next batch retries from scratch.
                 log.warning("peer %d send failed: %s", self.peer_id, exc)
                 self.runtime.metrics.record_send_failure()
-                self.runtime.frames_dropped += 1
+                self.runtime.frames_dropped += len(batch)
                 self._conn = None
             finally:
-                self.queue.task_done()
+                for _ in batch:
+                    self.queue.task_done()
 
     async def _connect(self) -> FrameConnection:
         reader, writer = await asyncio.open_connection(*self.address)
@@ -254,13 +311,17 @@ class ClientSession:
 
     async def _writer_loop(self) -> None:
         while True:
-            message = await self.queue.get()
+            batch = [await self.queue.get()]
+            while not self.queue.empty():
+                batch.append(self.queue.get_nowait())
             try:
-                await self.conn.send(message)
+                await self.conn.send_many(batch)
+                self.runtime.metrics.record_coalesced_write(len(batch))
             except (ConnectionError, OSError):
                 pass  # reader side notices the death and tears us down
             finally:
-                self.queue.task_done()
+                for _ in batch:
+                    self.queue.task_done()
 
     async def flush(self) -> None:
         await self.queue.join()
@@ -290,17 +351,20 @@ class BrokerRuntime:
         precision: Precision = Precision.COARSE,
         value_width: ValueWidth = ValueWidth.F64,
         max_subscriptions: int = DEFAULT_MAX_SUBSCRIPTIONS,
-        matcher: str = "reference",
+        matcher: str = "compiled",
+        match_cache_size: int = DEFAULT_MATCH_CACHE,
         dedup_capacity: int = 4096,
         propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
         period_interval: Optional[float] = None,
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        batch_frames: int = DEFAULT_BATCH_FRAMES,
         snapshot_dir: Optional[str] = None,
         host: str = "127.0.0.1",
         max_frame_bytes: int = MAX_FRAME_BYTES,
         tracer=None,
         paranoid: Optional[bool] = None,
         epoch: Optional[int] = None,
+        message_codec: Optional[MessageCodec] = None,
     ):
         if broker_id not in topology.brokers:
             raise ValueError(f"broker {broker_id} is not in the topology")
@@ -310,6 +374,10 @@ class BrokerRuntime:
         self.policy = propagation_policy
         self.period_interval = period_interval
         self.queue_frames = queue_frames
+        if batch_frames < 1:
+            raise ValueError("batch_frames must be >= 1")
+        #: Cap on one inbound dispatch batch (frames per burst).
+        self.batch_frames = batch_frames
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
         self.host = host
         self.max_frame_bytes = max_frame_bytes
@@ -323,13 +391,33 @@ class BrokerRuntime:
             SummaryAuditor(schema) if self.paranoid else None
         )
 
-        self.id_codec = IdCodec(
-            num_brokers=topology.num_brokers,
-            max_subscriptions=max_subscriptions,
-            num_attributes=len(schema),
-        )
-        self.wire = WireCodec(schema, self.id_codec, value_width)
-        self.message_codec = MessageCodec(self.wire)
+        if message_codec is not None:
+            # Shared-codec mode: an in-process cluster hands every runtime
+            # the same codec so the event/frame memo caches dedupe work
+            # across brokers (a forwarded event decodes once, not once per
+            # hop).  Sharing is only sound when the codec was built for an
+            # identical deployment, so verify instead of trusting.
+            wire = message_codec.wire
+            if (
+                wire.schema is not schema
+                or wire.value_width is not value_width
+                or wire.id_codec.num_brokers != topology.num_brokers
+                or wire.id_codec.max_subscriptions != max_subscriptions
+            ):
+                raise ValueError(
+                    "shared message_codec was built for a different deployment"
+                )
+            self.id_codec = wire.id_codec
+            self.wire = wire
+            self.message_codec = message_codec
+        else:
+            self.id_codec = IdCodec(
+                num_brokers=topology.num_brokers,
+                max_subscriptions=max_subscriptions,
+                num_attributes=len(schema),
+            )
+            self.wire = WireCodec(schema, self.id_codec, value_width)
+            self.message_codec = MessageCodec(self.wire)
 
         self.metrics = NetworkMetrics()
         self.network = RuntimeNetwork(topology, self.message_codec, self.metrics)
@@ -342,6 +430,7 @@ class BrokerRuntime:
             matcher=matcher,
             dedup_capacity=dedup_capacity,
             max_subscriptions=max_subscriptions,
+            match_cache_size=match_cache_size,
         )
         self.broker.tracer = self.tracer
         self.broker.paranoid = self.paranoid
@@ -545,15 +634,37 @@ class BrokerRuntime:
 
     async def _serve_peer(self, conn: FrameConnection, peer_id: int) -> None:
         while True:
-            message = await conn.recv()
-            if message is None:
+            burst = await conn.recv_burst(self.batch_frames)
+            if not burst:
                 return
-            self._dispatch_peer(peer_id, message)
+            # Contiguous EVENT runs are dispatched as one batch (the
+            # compiled matcher's ``match_many`` hot path); SUMMARY and
+            # NOTIFY frames break the run so cross-kind ordering — an
+            # EVENT must see exactly the kept summary that preceded it on
+            # the wire — is byte-for-byte what a frame-at-a-time loop
+            # would have produced.
+            index, total = 0, len(burst)
+            while index < total:
+                message = burst[index]
+                if isinstance(message, EventMessage):
+                    end = index + 1
+                    while end < total and isinstance(burst[end], EventMessage):
+                        end += 1
+                    items = [
+                        (m.event, m.brocli, m.publish_id)
+                        for m in burst[index:end]
+                    ]
+                    self.metrics.record_match_batch(len(items))
+                    self.router.process_batch(self.broker, items)
+                    index = end
+                else:
+                    self._dispatch_peer(peer_id, message)
+                    index += 1
             await self._pump()
             # Counted only after the dispatch *and* the pump: a processed
             # frame's downstream sends are already on their queues, so
             # cluster-wide enqueued == processed means true quiescence.
-            self.frames_processed += 1
+            self.frames_processed += total
 
     def _dispatch_peer(self, src: int, message: Message) -> None:
         """Same engines, same decisions as the simulator's dispatch."""
@@ -571,10 +682,26 @@ class BrokerRuntime:
         self._sessions.add(session)
         try:
             while True:
-                message = await conn.recv()
-                if message is None:
+                burst = await conn.recv_burst(self.batch_frames)
+                if not burst:
                     return
-                await self._handle_client_frame(session, message)
+                # Publish bursts batch through the compiled matcher; any
+                # other frame (SUB/UNSUB/PING) breaks the run so request
+                # ordering — and the PING completion barrier — holds.
+                index, total = 0, len(burst)
+                while index < total:
+                    message = burst[index]
+                    if isinstance(message, EventMessage):
+                        end = index + 1
+                        while end < total and isinstance(burst[end], EventMessage):
+                            end += 1
+                        await self._handle_publish_burst(
+                            [m.event for m in burst[index:end]]
+                        )
+                        index = end
+                    else:
+                        await self._handle_client_frame(session, message)
+                        index += 1
         finally:
             self._sessions.discard(session)
             # Subscriptions survive the disconnect (durable, snapshot-able);
@@ -583,15 +710,23 @@ class BrokerRuntime:
                 self._sid_sessions.pop(sid, None)
             await session.close()
 
+    async def _handle_publish_burst(self, events: List) -> None:
+        """PUB burst: the ingress broker mints the real publish ids and
+        runs Algorithm 3's first hop for the whole burst in one batched
+        summary check; forwards ride the pump."""
+        for event in events:
+            self.schema.validate_event(event)
+        self.metrics.record_match_batch(len(events))
+        self.router.publish_batch(self.broker_id, events)
+        if self.auditor is not None:
+            self.auditor.audit_dedup(self._audit_scope)
+        await self._pump()
+
     async def _handle_client_frame(self, session: ClientSession, message: Message) -> None:
         if isinstance(message, EventMessage):
-            # PUB: the ingress broker mints the real publish id and runs
-            # Algorithm 3's first hop locally; forwards ride the pump.
-            self.schema.validate_event(message.event)
-            self.router.publish(self.broker_id, message.event)
-            if self.auditor is not None:
-                self.auditor.audit_dedup(self._audit_scope)
-            await self._pump()
+            # Single-frame publish (reached when a caller dispatches
+            # outside `_serve_client`'s burst loop): same path, burst of 1.
+            await self._handle_publish_burst([message.event])
         elif isinstance(message, SubscribeMessage):
             try:
                 sid = self.broker.subscribe(message.subscription)
@@ -696,6 +831,11 @@ class BrokerRuntime:
         registry.gauge("runtime.periods_run").set(self.periods_run)
         registry.gauge("runtime.client_sessions").set(len(self._sessions))
         registry.gauge("runtime.subscriptions").set(len(self.broker.store))
+        registry.gauge("runtime.batch_size").set(self.metrics.batch_size)
+        compiled = self.broker._compiled
+        if compiled is not None:
+            registry.gauge("runtime.match_cache_hits").set(compiled.cache_hits)
+            registry.gauge("runtime.match_cache_misses").set(compiled.cache_misses)
         return registry
 
     def __repr__(self) -> str:
@@ -761,13 +901,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="seconds between timer-driven propagation acts "
                              "(0 = only explicit/cluster-driven periods)")
     parser.add_argument("--matcher", choices=("reference", "compiled"),
-                        default="reference")
+                        default="compiled",
+                        help="event-matching engine (default: compiled — the "
+                             "batched fast path; 'reference' is deprecated on "
+                             "the live path and kept for debugging)")
     parser.add_argument("--precision", choices=("coarse", "exact"),
                         default="coarse")
     parser.add_argument("--queue-frames", type=int, default=DEFAULT_QUEUE_FRAMES)
+    parser.add_argument("--batch-frames", type=int, default=DEFAULT_BATCH_FRAMES,
+                        help="max frames per inbound dispatch batch")
     parser.add_argument("--paranoid", action="store_true",
                         help="run the summary auditor after every period")
     return parser
+
+
+def warn_reference_matcher(prog: str) -> None:
+    """Deprecation note for explicitly selecting the reference matcher on
+    the live path (it remains the simulator/figure-reproduction engine)."""
+    print(
+        f"{prog}: warning: '--matcher reference' on the live runtime is "
+        f"deprecated — it matches one event at a time and will not keep up "
+        f"under load; the compiled engine is semantically identical "
+        f"(differential-tested) and now the default.",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 async def _serve(args: argparse.Namespace) -> None:
@@ -779,6 +937,7 @@ async def _serve(args: argparse.Namespace) -> None:
         matcher=args.matcher,
         period_interval=args.period_interval or None,
         queue_frames=args.queue_frames,
+        batch_frames=args.batch_frames,
         snapshot_dir=args.snapshot_dir,
         host=args.host,
         paranoid=True if args.paranoid else None,
@@ -794,6 +953,9 @@ async def _serve(args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.matcher == "reference":
+        warn_reference_matcher("repro-broker")
+    maybe_enable_uvloop()
     try:
         asyncio.run(_serve(args))
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -217,6 +217,7 @@ class CompiledMatcher:
         "_summary", "_cache_size", "_cache",
         "_generation", "_ids", "_required", "_counters",
         "_arith", "_strings",
+        "cache_hits", "cache_misses", "cache_evictions", "cache_invalidations",
     )
 
     def __init__(self, summary: BrokerSummary, cache_size: int = 0):
@@ -225,6 +226,14 @@ class CompiledMatcher:
         self._summary = summary
         self._cache_size = cache_size
         self._cache: "OrderedDict[Event, FrozenSet[SubscriptionId]]" = OrderedDict()
+        #: :meth:`match_many` lookups served from the LRU.
+        self.cache_hits = 0
+        #: :meth:`match_many` lookups that ran the full compiled match.
+        self.cache_misses = 0
+        #: entries dropped because the LRU exceeded ``cache_size``.
+        self.cache_evictions = 0
+        #: entries dropped wholesale by a generation-bump recompile.
+        self.cache_invalidations = 0
         self._generation = -1  # never equals a real generation: compiles lazily
         self._ids: List[SubscriptionId] = []
         self._required = array("I")
@@ -317,6 +326,7 @@ class CompiledMatcher:
         self._arith = arith
         self._strings = strings
         self._generation = generation
+        self.cache_invalidations += len(self._cache)
         self._cache.clear()  # a rebuild evicts every cached match result
 
     @staticmethod
@@ -396,12 +406,15 @@ class CompiledMatcher:
             hit = cache.get(event)
             if hit is not None:
                 cache.move_to_end(event)
+                self.cache_hits += 1
                 results.append(set(hit))
                 continue
             matched = self._match_compiled(event)
+            self.cache_misses += 1
             cache[event] = frozenset(matched)
             if len(cache) > self._cache_size:
                 cache.popitem(last=False)
+                self.cache_evictions += 1
             results.append(matched)
         return results
 

@@ -28,10 +28,12 @@ from __future__ import annotations
 import enum
 import math
 import struct
-from typing import List, Set, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
 
 from repro.model.constraints import Constraint, Operator
 from repro.model.events import Event
+from repro.model.types import AttributeValue
 from repro.model.ids import IdCodec, SubscriptionId
 from repro.model.schema import Schema
 from repro.model.subscriptions import Subscription
@@ -92,6 +94,14 @@ class ValueWidth(enum.Enum):
         return ">f" if self is ValueWidth.F32 else ">d"
 
 
+#: One shared bytes object per possible byte value — writing a tag or a
+#: single-byte varint (the overwhelmingly common case) allocates nothing.
+_BYTE_TABLE = tuple(bytes([value]) for value in range(256))
+
+_STRUCT_F32 = struct.Struct(">f")
+_STRUCT_F64 = struct.Struct(">d")
+
+
 class ByteWriter:
     """An append-only byte buffer with varint/string/float primitives."""
 
@@ -114,11 +124,16 @@ class ByteWriter:
     def byte(self, value: int) -> None:
         if not 0 <= value <= 0xFF:
             raise CodecError(f"byte out of range: {value}")
-        self.raw(bytes([value]))
+        self._chunks.append(_BYTE_TABLE[value])
+        self._size += 1
 
     def varint(self, value: int) -> None:
-        if value < 0:
-            raise CodecError(f"varint must be non-negative, got {value}")
+        if value < 0x80:
+            if value < 0:
+                raise CodecError(f"varint must be non-negative, got {value}")
+            self._chunks.append(_BYTE_TABLE[value])
+            self._size += 1
+            return
         out = bytearray()
         while True:
             piece = value & 0x7F
@@ -139,11 +154,14 @@ class ByteWriter:
         self.raw(data)
 
     def float_value(self, value: float, width: ValueWidth) -> None:
-        if width is ValueWidth.F32 and math.isfinite(value):
+        if width is ValueWidth.F64:
+            self.raw(_STRUCT_F64.pack(value))
+            return
+        if math.isfinite(value):
             # Clamp to the f32 range rather than silently producing inf.
             limit = 3.4028235e38
             value = max(-limit, min(limit, value))
-        self.raw(struct.pack(width.struct_format, value))
+        self.raw(_STRUCT_F32.pack(value))
 
 
 class ByteReader:
@@ -163,26 +181,41 @@ class ByteReader:
         return self._pos >= len(self._data)
 
     def raw(self, count: int) -> bytes:
-        if self.remaining < count:
-            raise CodecError(f"truncated data: wanted {count} bytes, have {self.remaining}")
-        piece = self._data[self._pos : self._pos + count]
-        self._pos += count
-        return piece
+        pos = self._pos
+        end = pos + count
+        if end > len(self._data):
+            raise CodecError(
+                f"truncated data: wanted {count} bytes, have {len(self._data) - pos}"
+            )
+        self._pos = end
+        return self._data[pos:end]
 
     def byte(self) -> int:
-        return self.raw(1)[0]
+        pos = self._pos
+        data = self._data
+        if pos >= len(data):
+            raise CodecError("truncated data: wanted 1 bytes, have 0")
+        self._pos = pos + 1
+        return data[pos]
 
     def varint(self) -> int:
+        data = self._data
+        pos = self._pos
+        size = len(data)
         result = 0
         shift = 0
         while True:
-            if shift > 70:
-                raise CodecError("varint too long")
-            piece = self.byte()
+            if pos >= size:
+                raise CodecError("truncated data: wanted 1 bytes, have 0")
+            piece = data[pos]
+            pos += 1
             result |= (piece & 0x7F) << shift
             if not piece & 0x80:
+                self._pos = pos
                 return result
             shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
 
     def zigzag(self) -> int:
         raw = self.varint()
@@ -193,7 +226,9 @@ class ByteReader:
         return self.raw(length).decode("utf-8")
 
     def float_value(self, width: ValueWidth) -> float:
-        return struct.unpack(width.struct_format, self.raw(width.bytes))[0]
+        if width is ValueWidth.F64:
+            return _STRUCT_F64.unpack(self.raw(8))[0]
+        return _STRUCT_F32.unpack(self.raw(4))[0]
 
 
 _TYPE_TAGS = {
@@ -210,6 +245,14 @@ _OP_BY_TAG = {tag: op for op, tag in _OP_TAGS.items()}
 _PATTERN_GLOB = 0
 _PATTERN_NE = 1
 _PATTERN_CONJ = 2
+
+#: Entries kept in each of the per-codec event memo caches.  Events are
+#: immutable, so an (event -> bytes) and a (bytes -> event) memo are pure
+#: caches; the bound only limits memory on long-running brokers.  Routing
+#: re-encodes the same event on every BROCLI hop and every NOTIFY, and
+#: re-decodes the identical payload bytes at every receiving broker, so
+#: hit rates on the live hot path are high by construction.
+EVENT_CACHE_ENTRIES = 4096
 
 
 class WireCodec:
@@ -229,10 +272,17 @@ class WireCodec:
         self.schema = schema
         self.id_codec = id_codec
         self.value_width = value_width
+        self._encoded_events: "OrderedDict[Event, bytes]" = OrderedDict()
+        self._decoded_events: "OrderedDict[bytes, Event]" = OrderedDict()
 
     # -- events --------------------------------------------------------------
 
     def encode_event(self, event: Event) -> bytes:
+        cache = self._encoded_events
+        data = cache.get(event)
+        if data is not None:
+            cache.move_to_end(event)
+            return data
         writer = ByteWriter()
         writer.varint(len(event))
         for name, typ, value in event.items():
@@ -243,29 +293,48 @@ class WireCodec:
                 writer.zigzag(int(value))  # type: ignore[arg-type]
             else:
                 writer.float_value(float(value), self.value_width)  # type: ignore[arg-type]
-        return writer.getvalue()
+        data = writer.getvalue()
+        cache[event] = data
+        if len(cache) > EVENT_CACHE_ENTRIES:
+            cache.popitem(last=False)
+        return data
 
     @_decode_guard
     def decode_event(self, data: bytes) -> Event:
+        cache = self._decoded_events
+        event = cache.get(data)
+        if event is not None:
+            cache.move_to_end(data)
+            return event
         reader = ByteReader(data)
         event = self.read_event(reader)
         if not reader.at_end():
             raise CodecError(f"{reader.remaining} trailing bytes after event")
+        cache[data] = event
+        if len(cache) > EVENT_CACHE_ENTRIES:
+            cache.popitem(last=False)
         return event
 
     def read_event(self, reader: ByteReader) -> Event:
         count = reader.varint()
-        pairs: List[Tuple[str, AttributeType, object]] = []
+        attrs: Dict[str, Tuple[AttributeType, AttributeValue]] = {}
+        width = self.value_width
         for _ in range(count):
             spec = self._spec_at(reader.varint())
-            if spec.type.is_string:
-                value: object = reader.string()
-            elif spec.type is AttributeType.INTEGER:
+            typ = spec.type
+            if typ is AttributeType.STRING:
+                value: AttributeValue = reader.string()
+            elif typ is AttributeType.INTEGER:
                 value = reader.zigzag()
             else:
-                value = reader.float_value(self.value_width)
-            pairs.append((spec.name, spec.type, value))
-        return Event.from_pairs(pairs)
+                value = reader.float_value(width)
+            if spec.name in attrs:
+                raise CodecError(f"duplicate attribute name in event: {spec.name!r}")
+            attrs[spec.name] = (typ, value)
+        # Values decoded above are already canonical for their types and
+        # the names come from validated schema specs, so the trusted
+        # constructor applies.
+        return Event.from_typed(attrs)
 
     # -- subscriptions -----------------------------------------------------------
 

@@ -45,6 +45,7 @@ message union the simulator charges bytes for.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple, Union
 
@@ -293,18 +294,59 @@ Message = Union[
 ]
 
 
+#: Bound on the hot-frame encode memo (EVENT/NOTIFY frames only).
+HOT_FRAME_CACHE_ENTRIES = 4096
+
+#: Tag -> kind without the (slow) enum constructor on every frame.
+_KIND_BY_TAG = {kind.value: kind for kind in MessageKind}
+
+
 class MessageCodec:
     """Encodes/decodes the message union with a one-byte kind tag."""
 
     def __init__(self, wire: WireCodec):
         self.wire = wire
+        # EVENT and NOTIFY frames are deeply immutable (frozen dataclass
+        # over an immutable Event and frozensets), so their encodings can
+        # be memoized: the routing layer sizes a frame for the bandwidth
+        # ledger and the writer loop encodes the same frame again moments
+        # later.  SUMMARY frames hold a *mutable* BrokerSummary and must
+        # never be cached.
+        self._hot_frames: "OrderedDict[Message, bytes]" = OrderedDict()
 
     # -- encoding --------------------------------------------------------------
 
     def encode(self, message: Message) -> bytes:
+        if isinstance(message, (EventMessage, NotifyMessage)):
+            cache = self._hot_frames
+            data = cache.get(message)
+            if data is not None:
+                cache.move_to_end(message)
+                return data
+            data = self._encode(message)
+            cache[message] = data
+            if len(cache) > HOT_FRAME_CACHE_ENTRIES:
+                cache.popitem(last=False)
+            return data
+        return self._encode(message)
+
+    def _encode(self, message: Message) -> bytes:
         writer = ByteWriter()
         writer.byte(int(message.kind))
-        if isinstance(message, SummaryMessage):
+        # EVENT and NOTIFY first: they dominate the live hot path.
+        if isinstance(message, EventMessage):
+            writer.varint(message.publish_id)
+            self.wire.write_broker_set(writer, message.brocli)
+            payload = self.wire.encode_event(message.event)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        elif isinstance(message, NotifyMessage):
+            writer.varint(message.publish_id)
+            self.wire.write_id_list(writer, message.matched)
+            payload = self.wire.encode_event(message.event)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        elif isinstance(message, SummaryMessage):
             self.wire.write_broker_set(writer, set(message.merged_brokers))
             payload = self.wire.encode_summary(message.summary)
             writer.varint(len(payload))
@@ -314,18 +356,6 @@ class MessageCodec:
             for sid, subscription in message.entries:
                 writer.raw(self.wire.id_codec.to_bytes(sid))
                 self.wire.write_subscription(writer, subscription)
-        elif isinstance(message, EventMessage):
-            writer.varint(message.publish_id)
-            self.wire.write_broker_set(writer, set(message.brocli))
-            payload = self.wire.encode_event(message.event)
-            writer.varint(len(payload))
-            writer.raw(payload)
-        elif isinstance(message, NotifyMessage):
-            writer.varint(message.publish_id)
-            self.wire.write_id_list(writer, set(message.matched))
-            payload = self.wire.encode_event(message.event)
-            writer.varint(len(payload))
-            writer.raw(payload)
         elif isinstance(message, AckMessage):
             writer.varint(message.transfer_id)
         elif isinstance(message, HelloMessage):
@@ -364,14 +394,32 @@ class MessageCodec:
     def decode(self, data: bytes) -> Message:
         reader = ByteReader(data)
         tag = reader.byte()
-        try:
-            kind = MessageKind(tag)
-        except ValueError:
-            raise CodecError(f"unknown message kind {tag}") from None
-        if kind is MessageKind.SUMMARY:
+        kind = _KIND_BY_TAG.get(tag)
+        if kind is None:
+            raise CodecError(f"unknown message kind {tag}")
+        # EVENT and NOTIFY first: they dominate the live hot path.
+        if kind is MessageKind.EVENT:
+            publish_id = reader.varint()
+            brocli = frozenset(self.wire.read_broker_set(reader))
+            payload = reader.raw(reader.varint())
+            message: Message = EventMessage(
+                event=self.wire.decode_event(payload),
+                brocli=brocli,
+                publish_id=publish_id,
+            )
+        elif kind is MessageKind.NOTIFY:
+            publish_id = reader.varint()
+            matched = frozenset(self.wire.read_id_list(reader))
+            payload = reader.raw(reader.varint())
+            message = NotifyMessage(
+                event=self.wire.decode_event(payload),
+                matched=matched,
+                publish_id=publish_id,
+            )
+        elif kind is MessageKind.SUMMARY:
             brokers = frozenset(self.wire.read_broker_set(reader))
             payload = reader.raw(reader.varint())
-            message: Message = SummaryMessage(
+            message = SummaryMessage(
                 summary=self.wire.decode_summary(payload), merged_brokers=brokers
             )
         elif kind in (MessageKind.SUBSCRIPTION_BATCH, MessageKind.ADVERTISEMENT):
@@ -427,24 +475,8 @@ class MessageCodec:
             if isinstance(inner, (AckMessage, ReliableDataMessage)):
                 raise CodecError("reliability frames cannot nest")
             message = ReliableDataMessage(transfer_id=transfer_id, payload=inner)
-        elif kind is MessageKind.EVENT:
-            publish_id = reader.varint()
-            brocli = frozenset(self.wire.read_broker_set(reader))
-            payload = reader.raw(reader.varint())
-            message = EventMessage(
-                event=self.wire.decode_event(payload),
-                brocli=brocli,
-                publish_id=publish_id,
-            )
-        else:
-            publish_id = reader.varint()
-            matched = frozenset(self.wire.read_id_list(reader))
-            payload = reader.raw(reader.varint())
-            message = NotifyMessage(
-                event=self.wire.decode_event(payload),
-                matched=matched,
-                publish_id=publish_id,
-            )
+        else:  # pragma: no cover - every tag is handled above
+            raise CodecError(f"unknown message kind {tag}")
         if not reader.at_end():
             raise CodecError(f"{reader.remaining} trailing bytes after message")
         return message

@@ -54,6 +54,10 @@ class TestLifecycle:
             "retransmit_bytes": 0,
             "send_failures": 0,
             "backpressure_stalls": 0,
+            "frame_writes": 0,
+            "coalesced_frames": 0,
+            "match_batches": 0,
+            "batched_events": 0,
         }
         assert metrics.per_broker_sent == {}
 

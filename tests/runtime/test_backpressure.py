@@ -1,0 +1,161 @@
+"""Backpressure under the batched hot path: stalls, isolation, no drops.
+
+The live runtime's flow-control contract, pinned piece by piece:
+
+* a consumer lane that stops draining fills its bounded queue, the next
+  enqueue records a ``backpressure_stalls`` tick and *blocks* — only
+  that lane's producer coroutine, never the whole broker;
+* other lanes on the same runtime keep flowing while one lane is stuck;
+* a coalesced drain claims at most one queue's worth of frames (the
+  bounded queue caps the write batch, so coalescing cannot turn
+  backpressure into unbounded buffering);
+* a soak through deliberately tiny queues stalls (proving the bound
+  bites) yet drops nothing and delivers everything.
+"""
+
+import asyncio
+
+from repro.model import Event, parse_subscription, stock_schema
+from repro.network import Topology
+from repro.runtime.cluster import LocalCluster
+from repro.runtime.server import BrokerRuntime, ClientSession, ROLE_SUBSCRIBER
+from repro.wire.messages import PingMessage
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+SCHEMA = stock_schema()
+SUB_TEXT = "symbol = OTE AND price < 8.70 AND price > 8.30"
+
+
+class GatedConn:
+    """A FrameConnection stand-in whose writes wait for an explicit gate."""
+
+    def __init__(self, gated=False):
+        self.gate = asyncio.Event()
+        if not gated:
+            self.gate.set()
+        self.batches = []
+
+    async def send_many(self, batch):
+        await self.gate.wait()
+        self.batches.append(len(batch))
+
+    async def send(self, message):
+        await self.send_many([message])
+
+    async def close(self):
+        pass
+
+    @property
+    def sent(self):
+        return sum(self.batches)
+
+
+class TestSlowConsumerIsolation:
+    def test_stuck_lane_stalls_alone_and_other_lanes_flow(self):
+        async def body():
+            runtime = BrokerRuntime(0, Topology.line(2), SCHEMA, queue_frames=2)
+            slow_conn = GatedConn(gated=True)
+            fast_conn = GatedConn()
+            slow = ClientSession(runtime, slow_conn, ROLE_SUBSCRIBER, 1)
+            fast = ClientSession(runtime, fast_conn, ROLE_SUBSCRIBER, 2)
+
+            async def feed_slow():
+                for token in range(6):
+                    await slow.enqueue(PingMessage(token=token))
+
+            feeder = asyncio.create_task(feed_slow())
+            await asyncio.sleep(0.05)
+            # The slow lane's feeder is stuck on the bounded queue …
+            assert not feeder.done()
+            assert runtime.metrics.backpressure_stalls >= 1
+            assert slow_conn.sent == 0 or slow_conn.sent < 6
+            # … while the fast lane on the same runtime still flows.
+            for token in range(10):
+                await fast.enqueue(PingMessage(token=token))
+            await asyncio.wait_for(fast.flush(), 1.0)
+            assert fast_conn.sent == 10
+
+            # Opening the gate releases the convoy: everything queued is
+            # transmitted, nothing was dropped along the way.
+            slow_conn.gate.set()
+            await asyncio.wait_for(feeder, 1.0)
+            await asyncio.wait_for(slow.flush(), 1.0)
+            assert slow_conn.sent == 6
+            assert runtime.frames_dropped == 0
+
+            await slow.close()
+            await fast.close()
+
+        run(body())
+
+    def test_coalesced_drain_never_exceeds_the_queue_bound(self):
+        async def body():
+            queue_frames = 4
+            runtime = BrokerRuntime(
+                0, Topology.line(2), SCHEMA, queue_frames=queue_frames
+            )
+            conn = GatedConn(gated=True)
+            session = ClientSession(runtime, conn, ROLE_SUBSCRIBER, 1)
+
+            async def feed():
+                for token in range(25):
+                    await session.enqueue(PingMessage(token=token))
+
+            feeder = asyncio.create_task(feed())
+            await asyncio.sleep(0.02)
+            conn.gate.set()
+            await asyncio.wait_for(feeder, 2.0)
+            await asyncio.wait_for(session.flush(), 2.0)
+            assert conn.sent == 25
+            # One claim drains at most the queue's capacity: the bounded
+            # queue is what bounds a write burst.
+            assert max(conn.batches) <= queue_frames
+            await session.close()
+
+        run(body())
+
+
+class TestTinyQueueSoak:
+    def test_soak_stalls_but_drops_nothing_and_delivers_everything(self):
+        """A burst far wider than the queue bound must ride backpressure —
+        stalls observed, zero ``frames_dropped``, full delivery."""
+
+        async def body():
+            topology = Topology.line(3)
+            cluster = LocalCluster(
+                topology, SCHEMA, queue_frames=2, batch_frames=8
+            )
+            await cluster.start()
+            try:
+                subscription = parse_subscription(SCHEMA, SUB_TEXT)
+                near = await cluster.subscriber(0)
+                far = await cluster.subscriber(2)
+                await near.subscribe(subscription)
+                await far.subscribe(subscription)
+                await cluster.run_propagation_period()
+
+                producer = await cluster.producer(0)
+                matching = Event.of(symbol="OTE", price=8.40)
+                for _ in range(4):
+                    await producer.publish_many([matching] * 25)
+                    await producer.flush()
+                await cluster.settle()
+
+                assert len(near.deliveries) == 100
+                assert len(far.deliveries) == 100
+                metrics = cluster.metrics()
+                assert metrics.backpressure_stalls > 0, (
+                    "a 25-event burst into 2-frame queues must stall"
+                )
+                dropped = sum(
+                    r.frames_dropped for r in cluster.runtimes.values()
+                )
+                assert dropped == 0
+            finally:
+                await cluster.stop(drain=False)
+
+        run(body())

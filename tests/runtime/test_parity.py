@@ -52,8 +52,42 @@ def simulator_deliveries(topology, schema, subscriptions, ticks):
     return delivered
 
 
-def live_deliveries(topology, schema, subscriptions, ticks):
-    """The same triples, but over real TCP brokers."""
+def batched_simulator_deliveries(topology, schema, subscriptions, ticks):
+    """Like :func:`simulator_deliveries` but bursting via ``publish_batch``
+    (the router entry point the live dispatch loop uses)."""
+    system = SummaryPubSub(
+        topology, schema, value_width=ValueWidth.F64, paranoid=True,
+        matcher="compiled",
+    )
+    for broker, subscription in subscriptions:
+        system.subscribe(broker, subscription)
+    system.run_propagation_period()
+    # Group consecutive same-broker ticks into bursts, preserving order —
+    # exactly what a producer's publish_many does to the frame stream.
+    bursts = []
+    for index, (broker, event) in enumerate(ticks):
+        if bursts and bursts[-1][0] == broker:
+            bursts[-1][1].append((index, event))
+        else:
+            bursts.append((broker, [(index, event)]))
+    delivered = set()
+    for broker, indexed in bursts:
+        result = system.publish_batch(broker, [event for _i, event in indexed])
+        position = {id(event): index for index, event in indexed}
+        for delivery in result.deliveries:
+            key = (delivery.broker, delivery.sid, position[id(delivery.event)])
+            assert key not in delivered, f"batched simulator duplicated {key}"
+            delivered.add(key)
+    return delivered
+
+
+def live_deliveries(topology, schema, subscriptions, ticks, *, chunk=None):
+    """The same triples, but over real TCP brokers.
+
+    With ``chunk`` set, each producer publishes through ``publish_many``
+    bursts of that size — one coalesced client write per burst, exercising
+    the runtime's batched dispatch + ``match_many`` hot path end to end.
+    """
 
     async def body():
         cluster = LocalCluster(topology, schema, paranoid=True)
@@ -71,8 +105,19 @@ def live_deliveries(topology, schema, subscriptions, ticks):
             for broker in sorted(topology.brokers):
                 producer_of[broker] = await cluster.producer(broker)
             events = [event for _broker, event in ticks]
-            for broker, event in ticks:
-                await producer_of[broker].publish(event)
+            if chunk is None:
+                for broker, event in ticks:
+                    await producer_of[broker].publish(event)
+            else:
+                pending = {broker: [] for broker in producer_of}
+                for broker, event in ticks:
+                    pending[broker].append(event)
+                    if len(pending[broker]) >= chunk:
+                        await producer_of[broker].publish_many(pending[broker])
+                        pending[broker] = []
+                for broker, rest in pending.items():
+                    if rest:
+                        await producer_of[broker].publish_many(rest)
             await cluster.settle()
             delivered = set()
             for broker, subscriber in subscriber_of.items():
@@ -118,4 +163,48 @@ class TestSimulatorParity:
         """The paper's 24-broker backbone, full scale."""
         assert_parity(
             cable_wireless_24(), seed=7, subs_per_broker=3, events=60
+        )
+
+
+class TestBatchedParity:
+    """The batched hot path against the sequential oracle, cross-substrate.
+
+    Three runs of one workload — sequential simulator (the ground truth),
+    batched simulator (``publish_batch``), and the live runtime fed
+    ``publish_many`` bursts — must agree delivery for delivery, with
+    paranoid audits on throughout.
+    """
+
+    def assert_batched_parity(self, topology, *, seed, subs_per_broker,
+                              events, chunk):
+        schema, subscriptions, ticks = build_workload(
+            topology, seed=seed, subs_per_broker=subs_per_broker, events=events
+        )
+        oracle = simulator_deliveries(topology, schema, subscriptions, ticks)
+        batched = batched_simulator_deliveries(
+            topology, schema, subscriptions, ticks
+        )
+        assert batched == oracle, "publish_batch diverged from publish"
+        live = live_deliveries(
+            topology, schema, subscriptions, ticks, chunk=chunk
+        )
+        missing = oracle - live
+        extra = live - oracle
+        assert not missing and not extra, (
+            f"batched live runtime diverged: {len(missing)} missing, "
+            f"{len(extra)} extra\nmissing={sorted(missing)[:5]}\n"
+            f"extra={sorted(extra)[:5]}"
+        )
+        assert oracle, "vacuous parity: the workload matched nothing"
+
+    def test_paper_tree_batched_parity(self):
+        self.assert_batched_parity(
+            paper_example_tree(), seed=11, subs_per_broker=3, events=40,
+            chunk=8,
+        )
+
+    def test_line_batched_parity_chunk_exceeds_batch_frames(self):
+        """Client bursts wider than one dispatch batch still agree."""
+        self.assert_batched_parity(
+            Topology.line(5), seed=23, subs_per_broker=4, events=30, chunk=16
         )

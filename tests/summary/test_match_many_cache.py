@@ -1,0 +1,188 @@
+"""``CompiledMatcher.match_many`` LRU cache — accounting and correctness.
+
+The live runtime leans on this cache for its batched hot path
+(``DEFAULT_MATCH_CACHE`` entries per broker), so its bookkeeping is part
+of the observable contract: ``cache_hits``/``cache_misses`` explain the
+soak's tracer stage table, ``cache_evictions`` proves the LRU respects
+its bound, and ``cache_invalidations`` proves a generation bump drops
+every entry computed against the old summary.  Each test pins one piece
+of that ledger; the semantic ground rule throughout is that a cached
+batch returns exactly what an uncached matcher would.
+"""
+
+import pytest
+
+from repro.model.attributes import AttributeSpec
+from repro.model.constraints import Constraint, Operator
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+from repro.model.schema import Schema
+from repro.model.subscriptions import Subscription
+from repro.model.types import AttributeType
+from repro.summary import BrokerSummary, CompiledMatcher
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            AttributeSpec("price", AttributeType.FLOAT),
+            AttributeSpec("symbol", AttributeType.STRING),
+        ]
+    )
+
+
+def _price_sub(low):
+    return Subscription([Constraint.arithmetic("price", Operator.GT, low)])
+
+
+def _symbol_sub(value):
+    return Subscription([Constraint.string("symbol", Operator.EQ, value)])
+
+
+def _sid(schema, subscription, local_id, broker=0):
+    return SubscriptionId(broker, local_id, schema.mask_of(subscription))
+
+
+def _populated(schema, cache_size):
+    summary = BrokerSummary(schema)
+    price = _price_sub(10.0)
+    price_sid = _sid(schema, price, 0)
+    summary.add(price, price_sid)
+    symbol = _symbol_sub("OTE")
+    symbol_sid = _sid(schema, symbol, 1)
+    summary.add(symbol, symbol_sid)
+    return summary, CompiledMatcher(summary, cache_size=cache_size), price_sid, symbol_sid
+
+
+def _event(price, symbol="OTE"):
+    return Event.of(price=price, symbol=symbol)
+
+
+class TestHitMissAccounting:
+    def test_first_batch_counts_misses_then_hits_within_the_batch(self, schema):
+        _, compiled, price_sid, symbol_sid = _populated(schema, cache_size=8)
+        e1, e2 = _event(20.0), _event(5.0, "AAA")
+        results = compiled.match_many([e1, e2, e1, e1])
+        assert results == [{price_sid, symbol_sid}, set(), {price_sid, symbol_sid},
+                           {price_sid, symbol_sid}]
+        assert compiled.cache_misses == 2
+        assert compiled.cache_hits == 2
+        assert compiled.cached_events() == 2
+
+    def test_repeat_batch_is_all_hits(self, schema):
+        _, compiled, _, _ = _populated(schema, cache_size=8)
+        batch = [_event(20.0), _event(5.0, "AAA")]
+        first = compiled.match_many(batch)
+        misses = compiled.cache_misses
+        second = compiled.match_many(batch)
+        assert second == first
+        assert compiled.cache_misses == misses  # nothing recomputed
+        assert compiled.cache_hits == len(batch)
+
+    def test_empty_batch_moves_no_counter(self, schema):
+        _, compiled, _, _ = _populated(schema, cache_size=8)
+        assert compiled.match_many([]) == []
+        assert compiled.cache_hits == 0
+        assert compiled.cache_misses == 0
+        assert compiled.cached_events() == 0
+
+    def test_equal_events_share_one_entry(self, schema):
+        """Cache keys are event *values*: two distinct but equal Event
+        objects (e.g. the same tick decoded at two brokers) hit."""
+        _, compiled, _, _ = _populated(schema, cache_size=8)
+        compiled.match_many([_event(20.0)])
+        compiled.match_many([_event(20.0)])  # a fresh, equal object
+        assert compiled.cache_misses == 1
+        assert compiled.cache_hits == 1
+        assert compiled.cached_events() == 1
+
+    def test_hit_results_are_independent_copies(self, schema):
+        _, compiled, price_sid, symbol_sid = _populated(schema, cache_size=8)
+        event = _event(20.0)
+        first, second = compiled.match_many([event, event])
+        assert first == second
+        first.clear()  # caller owns its set; the cache must not notice
+        assert compiled.match_many([event])[0] == {price_sid, symbol_sid}
+
+
+class TestEvictionAccounting:
+    def test_lru_eviction_counts_and_drops_oldest(self, schema):
+        _, compiled, _, _ = _populated(schema, cache_size=2)
+        e1, e2, e3 = _event(1.0), _event(2.0), _event(3.0)
+        compiled.match_many([e1, e2, e3])
+        assert compiled.cache_evictions == 1
+        assert compiled.cached_events() == 2
+        # e1 was evicted: matching it again is a miss; e3 stays a hit.
+        compiled.match_many([e3, e1])
+        assert compiled.cache_hits == 1
+        assert compiled.cache_misses == 4
+
+    def test_hits_refresh_recency(self, schema):
+        _, compiled, _, _ = _populated(schema, cache_size=2)
+        e1, e2, e3 = _event(1.0), _event(2.0), _event(3.0)
+        compiled.match_many([e1, e2])
+        compiled.match_many([e1])  # e1 becomes most-recent
+        compiled.match_many([e3])  # evicts e2, not e1
+        compiled.match_many([e1])
+        assert compiled.cache_hits == 2
+        assert compiled.cache_evictions == 1
+
+    def test_disabled_cache_keeps_ledger_at_zero(self, schema):
+        _, compiled, price_sid, symbol_sid = _populated(schema, cache_size=0)
+        event = _event(20.0)
+        assert compiled.match_many([event, event]) == [
+            {price_sid, symbol_sid}, {price_sid, symbol_sid}
+        ]
+        assert compiled.cache_hits == 0
+        assert compiled.cache_misses == 0
+        assert compiled.cache_evictions == 0
+        assert compiled.cached_events() == 0
+
+
+class TestGenerationInvalidation:
+    def test_bump_between_batches_invalidates_every_entry(self, schema):
+        summary, compiled, price_sid, _ = _populated(schema, cache_size=8)
+        compiled.match_many([_event(1.0), _event(2.0), _event(3.0)])
+        assert compiled.cached_events() == 3
+        summary.remove(price_sid)  # generation bump
+        compiled.match_many([_event(4.0)])
+        assert compiled.cache_invalidations == 3
+        assert compiled.cached_events() == 1  # only the post-bump entry
+
+    def test_post_bump_results_reflect_the_new_summary(self, schema):
+        summary, compiled, price_sid, symbol_sid = _populated(schema, cache_size=8)
+        event = _event(20.0)
+        assert compiled.match_many([event])[0] == {price_sid, symbol_sid}
+        summary.remove(price_sid)
+        # The old entry must not be served: the removed sid is gone.
+        assert compiled.match_many([event])[0] == {symbol_sid}
+        late = _symbol_sub("OTE")
+        late_sid = _sid(schema, late, 7, broker=2)
+        summary.add(late, late_sid)
+        assert compiled.match_many([event])[0] == {symbol_sid, late_sid}
+
+    def test_merge_invalidates_like_local_mutation(self, schema):
+        summary, compiled, price_sid, symbol_sid = _populated(schema, cache_size=8)
+        event = _event(20.0)
+        compiled.match_many([event])
+        other = BrokerSummary(schema)
+        remote = _price_sub(15.0)
+        remote_sid = _sid(schema, remote, 0, broker=3)
+        other.add(remote, remote_sid)
+        summary.merge(other)
+        assert compiled.match_many([event])[0] == {
+            price_sid, symbol_sid, remote_sid
+        }
+        assert compiled.cache_invalidations == 1
+
+    def test_cached_batch_equals_a_fresh_uncached_matcher(self, schema):
+        """End-to-end ground truth: after churn plus cache traffic, every
+        cached answer equals what a brand-new uncached matcher computes."""
+        summary, compiled, price_sid, _ = _populated(schema, cache_size=4)
+        events = [_event(v, s) for v in (1.0, 12.0, 20.0) for s in ("OTE", "X")]
+        compiled.match_many(events)
+        summary.remove(price_sid)
+        compiled.match_many(events)  # recompiled + recached
+        oracle = CompiledMatcher(summary, cache_size=0)
+        assert compiled.match_many(events) == oracle.match_many(events)
