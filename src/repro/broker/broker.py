@@ -66,6 +66,7 @@ class SummaryBroker:
         dedup_capacity: int = 4096,
         max_subscriptions: Optional[int] = None,
         match_cache_size: int = 0,
+        suppress_covered: bool = True,
     ):
         if matcher not in MATCHERS:
             raise ValueError(
@@ -100,6 +101,44 @@ class SummaryBroker:
         self.delta_summary: Optional[BrokerSummary] = None
         self.delta_brokers: Set[int] = set()
         self.contacted: Set[int] = set()
+        #: Whether this broker already sent its period delta (Algorithm 2
+        #: acts once per period).  Unsubscribes consult it to decide whether
+        #: a removal can still ride the current period or must wait.
+        self.period_acted = False
+
+        # -- incremental (delta-mode) propagation state --
+        #: Own ids unsubscribed after they were propagated; they ship as the
+        #: removal block of the next period's delta frame.
+        self.removed_pending: Set[SubscriptionId] = set()
+        #: Removal block of the in-flight period: the snapshot of
+        #: ``removed_pending`` taken at ``begin_period`` plus every removal
+        #: received from peers this period.  Applied to ``kept_summary`` by
+        #: ``finish_period`` (after the delta adds merge — removal wins).
+        self.delta_removed: Set[SubscriptionId] = set()
+        #: Per-directed-link delta generations: ``link_generations_out[dst]``
+        #: is the generation of the last delta sent to ``dst``;
+        #: ``link_generations_in[src]`` the last applied from ``src``.  A
+        #: delta whose ``base_generation`` does not match the receiver's
+        #: ``in`` entry is rejected (the chain broke — a refresh, restart or
+        #: loss happened) and the receiver falls back to requesting a full
+        #: summary.
+        self.link_generations_out: Dict[int, int] = {}
+        self.link_generations_in: Dict[int, int] = {}
+
+        # -- covered-id suppression (folded in from repro.ext.hybrid) --
+        #: Frontier of covering subscriptions: only frontier members are
+        #: summarized and propagated; covered ids never hit the wire.
+        self._frontier = None  # Optional[SidCoveringIndex]
+        #: coverer sid -> ids it suppresses (and the inverse map).
+        self._covered_by: Dict[SubscriptionId, Set[SubscriptionId]] = {}
+        self._coverer_of: Dict[SubscriptionId, SubscriptionId] = {}
+        if suppress_covered:
+            # Deferred import: the siena package's __init__ imports the
+            # siena broker, which imports this module — resolvable only
+            # after both modules finish loading.
+            from repro.siena.poset import SidCoveringIndex
+
+            self._frontier = SidCoveringIndex()
 
         # -- statistics --
         self.deliveries: List[Tuple[SubscriptionId, Event]] = []
@@ -115,8 +154,22 @@ class SummaryBroker:
     # -- subscription side ----------------------------------------------------
 
     def subscribe(self, subscription: Subscription) -> SubscriptionId:
-        """Accept a client subscription; it propagates at the next period."""
+        """Accept a client subscription; it propagates at the next period.
+
+        Under covered-id suppression a subscription subsumed by an existing
+        frontier member is stored (it still allocates an id and takes part
+        in the exact re-check) but never summarized or propagated: every
+        event it matches also matches its coverer, so the coverer's
+        presence in remote summaries already routes those events here.
+        """
         sid = self.store.subscribe(subscription)
+        if self._frontier is not None:
+            coverer = self._frontier.find_coverer(subscription)
+            if coverer is not None:
+                self._coverer_of[sid] = coverer
+                self._covered_by.setdefault(coverer, set()).add(sid)
+                return sid
+            self._frontier.add(sid, subscription)
         self.pending.append((sid, subscription))
         return sid
 
@@ -124,8 +177,10 @@ class SummaryBroker:
         """Drop a client subscription.
 
         The id is removed from the local kept summary immediately; remote
-        kept summaries retain it until a full refresh period, but their
-        matches are harmless — the exact re-check here drops them.
+        kept summaries retain it until the removal propagates (the next
+        delta period in delta mode, a full refresh otherwise), and their
+        matches in the meantime are harmless — the exact re-check here
+        drops them.
 
         The id must also leave the *in-flight period delta*: when an
         unsubscribe lands between ``begin_period`` and ``finish_period``,
@@ -134,13 +189,42 @@ class SummaryBroker:
         ``kept_summary`` — silently resurrecting the id until the next
         full refresh.  The :class:`~repro.obs.audit.SummaryAuditor`'s
         ``local-liveness`` check exists to catch exactly this divergence.
+
+        Removal scheduling (delta mode): an id that may already live in
+        remote summaries lands in ``delta_removed`` when the current
+        period's delta has not been sent yet, otherwise in
+        ``removed_pending`` for the next period.  Ids that provably never
+        left this broker (still pending, or scrubbed from an unsent delta)
+        are not propagated at all.  ``c2`` values are never reused, so
+        over-approximating removals is always safe.
         """
         if self.store.unsubscribe(sid) is None:
             return False
+        if self._frontier is not None and sid in self._coverer_of:
+            # Covered ids were never summarized nor propagated: dropping
+            # one is a pure store-side operation.
+            coverer = self._coverer_of.pop(sid)
+            siblings = self._covered_by.get(coverer)
+            if siblings is not None:
+                siblings.discard(sid)
+                if not siblings:
+                    del self._covered_by[coverer]
+            return True
+        was_pending = any(p_sid == sid for p_sid, _ in self.pending)
         self.pending = [(p_sid, p_sub) for p_sid, p_sub in self.pending if p_sid != sid]
         self.kept_summary.remove(sid)
-        if self.delta_summary is not None:
-            self.delta_summary.remove(sid)
+        in_period = self.delta_summary is not None
+        removed_from_delta = self.delta_summary.remove(sid) if in_period else False
+        if removed_from_delta and not self.period_acted:
+            pass  # scrubbed from the only frame that would have carried it
+        elif was_pending and not (in_period and self.period_acted):
+            pass  # never folded into any sent delta
+        elif in_period and not self.period_acted:
+            self.delta_removed.add(sid)  # rides this period's delta frame
+        else:
+            self.removed_pending.add(sid)  # ships next period
+        if self._frontier is not None and sid in self._frontier:
+            self._frontier_remove(sid)
         return True
 
     # -- propagation-period state (driven by PropagationEngine) -----------------
@@ -153,9 +237,18 @@ class SummaryBroker:
         self.delta_summary = delta
         self.delta_brokers = {self.broker_id}
         self.contacted = set()
+        # Snapshot (without clearing — unsubscribes landing mid-period
+        # after the delta was sent keep accumulating for the next one).
+        self.delta_removed = set(self.removed_pending)
+        self.period_acted = False
 
     def absorb_summary(self, src: int, summary: BrokerSummary, brokers: Set[int]) -> None:
-        """Handle a received SummaryMessage: merge into the period delta."""
+        """Handle a received SummaryMessage: merge into the period delta.
+
+        A full summary also restarts the delta-generation chain of the
+        ``src`` link: the next delta from ``src`` must base itself on this
+        snapshot (``base_generation == 0``).
+        """
         if self.delta_summary is None:
             raise RuntimeError(
                 f"broker {self.broker_id} received a summary outside a "
@@ -164,21 +257,75 @@ class SummaryBroker:
         self.delta_summary.merge(summary)
         self.delta_brokers |= brokers
         self.contacted.add(src)
+        self.link_generations_in[src] = 0
+
+    def absorb_delta(
+        self,
+        src: int,
+        adds: BrokerSummary,
+        removed: Set[SubscriptionId],
+        brokers: Set[int],
+        base_generation: int,
+        generation: int,
+    ) -> bool:
+        """Handle a received SummaryDeltaMessage.
+
+        Returns False — *without touching any state* — when the delta does
+        not chain onto the last frame applied from ``src`` (its
+        ``base_generation`` disagrees with ``link_generations_in``), which
+        happens after a full refresh, a restart, or message loss.  The
+        caller reacts by requesting a full summary from ``src``.
+        """
+        if self.delta_summary is None:
+            return False  # between periods: can't fold, ask for a snapshot
+        if base_generation != self.link_generations_in.get(src, 0):
+            return False
+        self.link_generations_in[src] = generation
+        self.delta_summary.merge(adds)
+        self.delta_removed |= removed
+        self.delta_brokers |= brokers
+        self.contacted.add(src)
+        return True
 
     def finish_period(self) -> None:
-        """Fold the period's delta into the kept multi-broker summary."""
+        """Fold the period's delta into the kept multi-broker summary.
+
+        Adds merge first, then the period's removal block applies on top —
+        so a subscription added and removed within the same period ends up
+        removed (``c2`` values are never reused, which makes this ordering
+        unconditionally safe).
+        """
         if self.delta_summary is None:
             return
         self.kept_summary.merge(self.delta_summary)
+        if self.delta_removed:
+            for sid in self.delta_removed:
+                self.kept_summary.remove(sid)
+            self.removed_pending -= self.delta_removed
         self.merged_brokers |= self.delta_brokers
         self.delta_summary = None
         self.delta_brokers = set()
+        self.delta_removed = set()
         self.pending = []
+        self.period_acted = False
 
     def rebuild_own_summary(self) -> BrokerSummary:
-        """A fresh summary of all currently stored subscriptions (used by
+        """A fresh summary of all currently stored subscriptions — or, under
+        covered-id suppression, of the covering frontier only (used by
         full-refresh periods after heavy unsubscription churn)."""
-        return self.store.build_summary(self.precision)
+        if self._frontier is None:
+            return self.store.build_summary(self.precision)
+        summary = BrokerSummary(self.schema, self.precision)
+        for sid, subscription in sorted(self._frontier.items()):
+            summary.add(subscription, sid)
+        return summary
+
+    def refresh_batch(self) -> List[Tuple[SubscriptionId, Subscription]]:
+        """The subscriptions a full-refresh period re-propagates: every
+        stored one, or only the frontier members under suppression."""
+        if self._frontier is None:
+            return list(self.store.items())
+        return sorted(self._frontier.items())
 
     def reset_merged_state(self) -> None:
         """Forget remote knowledge (full-refresh support): the kept summary
@@ -188,13 +335,131 @@ class SummaryBroker:
         started while a period is in flight must not let ``finish_period``
         fold the pre-reset delta (old remote knowledge) back into the
         freshly rebuilt kept summary.
+
+        Delta-chain state resets with it: pending removals are pointless
+        (the refresh re-ships ground truth) and both generation maps clear,
+        so any in-flight delta that arrives after the refresh fails the
+        ``base_generation`` check and falls back to a full summary instead
+        of silently merging stale rows.
         """
+        if self._frontier is not None:
+            self._rebuild_suppression()
         self.kept_summary = self.rebuild_own_summary()
         self.merged_brokers = {self.broker_id}
         self.pending = []
         self.delta_summary = None
         self.delta_brokers = set()
         self.contacted = set()
+        self.removed_pending = set()
+        self.delta_removed = set()
+        self.period_acted = False
+        self.link_generations_out = {}
+        self.link_generations_in = {}
+
+    # -- covered-id suppression internals ---------------------------------------
+
+    @property
+    def suppress_covered(self) -> bool:
+        """Whether covered-id suppression is active on this broker."""
+        return self._frontier is not None
+
+    @property
+    def suppressed(self) -> int:
+        """Stored subscriptions currently suppressed (covered by a frontier
+        member).  Exact by construction: every covered id holds exactly one
+        entry in ``_coverer_of``."""
+        return len(self._coverer_of)
+
+    @property
+    def frontier_size(self) -> int:
+        """Frontier members (0 with suppression disabled — everything is
+        propagated, nothing is tracked)."""
+        return len(self._frontier) if self._frontier is not None else 0
+
+    def _frontier_remove(self, sid: SubscriptionId) -> None:
+        """Drop a frontier member and re-home the ids it covered.
+
+        Strictly local (the incremental rebuild): only ``sid``'s own
+        covered set is reconsidered.  Each orphan either re-homes under a
+        surviving coverer or promotes into the frontier — entering
+        ``kept_summary`` (it must match local events immediately) and
+        ``pending`` (remote brokers learn it next period).  Orphans are
+        processed in sorted order, so a promoted orphan can deterministically
+        become the coverer of its later siblings.
+        """
+        self._frontier.remove(sid)
+        orphans = self._covered_by.pop(sid, set())
+        for orphan in sorted(orphans):
+            subscription = self.store.get(orphan)
+            if subscription is None:
+                del self._coverer_of[orphan]
+                continue
+            coverer = self._frontier.find_coverer(subscription)
+            if coverer is not None:
+                self._coverer_of[orphan] = coverer
+                self._covered_by.setdefault(coverer, set()).add(orphan)
+                continue
+            del self._coverer_of[orphan]
+            self._frontier.add(orphan, subscription)
+            self.kept_summary.add(subscription, orphan)
+            self.pending.append((orphan, subscription))
+
+    def _rebuild_suppression(self) -> None:
+        """Recompute the frontier and cover maps from the store (refresh
+        support — unsubscribe churn may have left the frontier larger than
+        it needs to be, since adds never evict)."""
+        from repro.siena.poset import SidCoveringIndex
+
+        frontier = SidCoveringIndex()
+        self._covered_by = {}
+        self._coverer_of = {}
+        for sid, subscription in sorted(self.store.items()):
+            coverer = frontier.find_coverer(subscription)
+            if coverer is None:
+                frontier.add(sid, subscription)
+            else:
+                self._coverer_of[sid] = coverer
+                self._covered_by.setdefault(coverer, set()).add(sid)
+        self._frontier = frontier
+
+    def rebuild_suppression_from_state(self) -> None:
+        """Reconstruct suppression maps after a snapshot restore.
+
+        The restored ``kept_summary``/``pending`` say which own ids are
+        visible to the outside world — those must stay frontier members
+        (demoting one would strand a summarized id without its exact-check
+        owner mapping).  Every other stored id re-homes under that frontier
+        or promotes.
+        """
+        if self._frontier is None:
+            return
+        from repro.siena.poset import SidCoveringIndex
+
+        visible = {
+            sid for sid in self.kept_summary.all_ids() if sid.broker == self.broker_id
+        }
+        visible |= {sid for sid, _ in self.pending}
+        frontier = SidCoveringIndex()
+        self._covered_by = {}
+        self._coverer_of = {}
+        rest: List[Tuple[SubscriptionId, Subscription]] = []
+        for sid, subscription in sorted(self.store.items()):
+            if sid in visible:
+                frontier.add(sid, subscription)
+            else:
+                rest.append((sid, subscription))
+        self._frontier = frontier
+        for sid, subscription in rest:
+            coverer = frontier.find_coverer(subscription)
+            if coverer is not None:
+                self._coverer_of[sid] = coverer
+                self._covered_by.setdefault(coverer, set()).add(sid)
+            else:
+                # Snapshot predates suppression (or was taken with it off):
+                # promote so the id keeps matching.
+                frontier.add(sid, subscription)
+                self.kept_summary.add(subscription, sid)
+                self.pending.append((sid, subscription))
 
     # -- event side -------------------------------------------------------------
 
@@ -316,7 +581,21 @@ class SummaryBroker:
         positives (or ids unsubscribed since the summary was propagated).
         Duplicate notifications for an already-delivered publish are
         suppressed (at-least-once transport tolerance).
+
+        Under covered-id suppression the candidate set only names frontier
+        members (covered ids are in no summary), so each candidate expands
+        to the ids it covers before the exact re-check — a covered
+        subscription matches a subset of what its coverer matches, so this
+        expansion is exactly the candidate set the unsuppressed system
+        would have produced, filtered by the same re-check.
         """
+        if self._covered_by:
+            expanded = set(sids)
+            for candidate in sids:
+                covered = self._covered_by.get(candidate)
+                if covered:
+                    expanded |= covered
+            sids = expanded
         if publish_id:
             if publish_id in self._delivered_publishes:
                 self._delivered_publishes.move_to_end(publish_id)  # LRU touch

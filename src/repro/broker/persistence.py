@@ -145,6 +145,14 @@ class SnapshotCodec:
         # belt-and-braces against pre-restore entries surviving into the
         # new deployment and suppressing fresh events as "duplicates".
         broker.clear_dedup()
+        # Suppression maps are likewise transient (snapshots predate them
+        # or were taken by a broker with suppression off): rebuild the
+        # covering frontier around what the snapshot says is already
+        # visible to the outside world.  Delta-generation chains are NOT
+        # persisted on purpose — peers' next deltas fail the
+        # base-generation check and fall back to full summaries, which is
+        # exactly the resync a restarted broker needs.
+        broker.rebuild_suppression_from_state()
 
 
 def write_snapshot_atomic(path: Path, data: bytes) -> None:

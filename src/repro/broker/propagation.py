@@ -40,9 +40,25 @@ from typing import Dict, Optional
 from repro.broker.broker import SummaryBroker
 from repro.network.simulator import Network
 from repro.obs.tracing import NULL_TRACER
-from repro.wire.messages import Message, SummaryMessage
+from repro.wire.messages import (
+    Message,
+    SummaryDeltaMessage,
+    SummaryMessage,
+    SummaryRequestMessage,
+)
 
-__all__ = ["PropagationEngine", "TargetPolicy", "select_period_target"]
+__all__ = [
+    "PROPAGATION_MODES",
+    "PropagationEngine",
+    "TargetPolicy",
+    "select_period_target",
+]
+
+#: ``"delta"`` ships :class:`SummaryDeltaMessage` frames (compressed id
+#: sets, removal blocks, per-link generation chaining with full-summary
+#: fallback); ``"full"`` is the original per-period
+#: :class:`SummaryMessage` path used by the committed figure runs.
+PROPAGATION_MODES = ("delta", "full")
 
 
 class TargetPolicy(enum.Enum):
@@ -89,13 +105,27 @@ class PropagationEngine:
         network: Network,
         brokers: Dict[int, SummaryBroker],
         policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+        mode: str = "delta",
     ):
         if set(brokers) != set(network.topology.brokers):
             raise ValueError("need exactly one broker object per topology node")
+        if mode not in PROPAGATION_MODES:
+            raise ValueError(
+                f"unknown propagation mode {mode!r}; expected one of "
+                f"{PROPAGATION_MODES}"
+            )
         self.network = network
         self.brokers = brokers
         self.policy = policy
+        self.mode = mode
         self.periods_run = 0
+        #: True while :meth:`run_full_refresh` drives the current period —
+        #: refresh periods always send full :class:`SummaryMessage` frames
+        #: (they re-establish ground truth, so chaining is pointless).
+        self._refresh_active = False
+        # -- delta-mode fallback statistics --
+        self.fallback_requests = 0
+        self.fallback_replies = 0
 
     # -- the period ------------------------------------------------------------
 
@@ -122,6 +152,14 @@ class PropagationEngine:
             # Deliver this iteration's messages before the next degree class
             # acts — receivers fold them into their deltas via receive().
             self.network.flush_iteration()
+        # Delta-mode fallback exchanges (reject -> request -> full summary)
+        # straddle iteration boundaries; drain them before the period
+        # closes so the replies still land inside it.  Each chain is at
+        # most two hops, so the bound is generous and never loops.
+        for _ in range(2 * len(self.brokers) + 2):
+            if not self.network.has_pending:
+                break
+            self.network.flush_iteration()
         for broker in self.brokers.values():
             broker.finish_period()
         self.periods_run += 1
@@ -130,12 +168,30 @@ class PropagationEngine:
         """Steps 1-2 of Algorithm 2 for one broker at its iteration."""
         assert broker.delta_summary is not None, "begin_period() not called"
         target = self._select_target(broker)
+        # The broker's one send opportunity for this period has now passed
+        # (even if no eligible target exists): later unsubscribes queue
+        # their removals for the next period's frame.
+        broker.period_acted = True
         if target is None:
             return
-        message = SummaryMessage(
-            summary=broker.delta_summary.copy(),
-            merged_brokers=frozenset(broker.delta_brokers),
-        )
+        if self.mode == "delta" and not self._refresh_active:
+            base = broker.link_generations_out.get(target, 0)
+            generation = base + 1
+            broker.link_generations_out[target] = generation
+            message: Message = SummaryDeltaMessage(
+                adds=broker.delta_summary.copy(),
+                removed=frozenset(broker.delta_removed),
+                merged_brokers=frozenset(broker.delta_brokers),
+                base_generation=base,
+                generation=generation,
+            )
+        else:
+            message = SummaryMessage(
+                summary=broker.delta_summary.copy(),
+                merged_brokers=frozenset(broker.delta_brokers),
+            )
+            # A full frame restarts the chain towards this neighbor.
+            broker.link_generations_out[target] = 0
         broker.contacted.add(target)
         tracer = self.tracer
         if tracer.enabled:
@@ -171,22 +227,64 @@ class PropagationEngine:
     def _run_full_refresh_body(self) -> None:
         for broker in self.brokers.values():
             broker.reset_merged_state()
-            # The full store contents become this period's "new" batch.
-            broker.pending = [
-                (sid, subscription) for sid, subscription in broker.store.items()
-            ]
-            # reset_merged_state() already folded the store into the kept
+            # The refresh batch (full store contents — or the covering
+            # frontier under suppression) becomes this period's "new" batch.
+            broker.pending = broker.refresh_batch()
+            # reset_merged_state() already folded the batch into the kept
             # summary; begin_period() will rebuild the delta from pending.
-        self.run_period()
+        self._refresh_active = True
+        try:
+            self.run_period()
+        finally:
+            self._refresh_active = False
 
     # -- message handling (called by the system's dispatch) ---------------------------
 
     def handle_message(self, dst: int, src: int, message: Message) -> bool:
-        """Route a SummaryMessage to its broker; returns False for other
+        """Route a propagation frame to its broker; returns False for other
         message kinds so the caller can try the event-routing handler."""
-        if not isinstance(message, SummaryMessage):
-            return False
-        self.brokers[dst].absorb_summary(
-            src, message.summary, set(message.merged_brokers)
-        )
-        return True
+        if isinstance(message, SummaryMessage):
+            self.brokers[dst].absorb_summary(
+                src, message.summary, set(message.merged_brokers)
+            )
+            return True
+        if isinstance(message, SummaryDeltaMessage):
+            applied = self.brokers[dst].absorb_delta(
+                src,
+                message.adds,
+                set(message.removed),
+                set(message.merged_brokers),
+                message.base_generation,
+                message.generation,
+            )
+            if not applied:
+                # Chain broke (refresh, restart, loss): ask for a full
+                # summary instead of silently merging a stale delta.
+                self.fallback_requests += 1
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "delta_rejected", broker=dst,
+                        trace_id=self.periods_run + 1, src=src,
+                        base_generation=message.base_generation,
+                    )
+                self.network.send(dst, src, SummaryRequestMessage(
+                    generation=message.generation,
+                ))
+            return True
+        if isinstance(message, SummaryRequestMessage):
+            broker = self.brokers[dst]
+            if broker.delta_summary is not None:
+                summary = broker.delta_summary.copy()
+                merged = frozenset(broker.delta_brokers)
+            else:  # between periods: answer with current knowledge
+                summary = broker.kept_summary.copy()
+                merged = frozenset(broker.merged_brokers)
+            # Restart the chain: the requester resyncs on this snapshot
+            # and the next delta towards it bases itself on generation 0.
+            broker.link_generations_out[src] = 0
+            self.fallback_replies += 1
+            self.network.send(dst, src, SummaryMessage(
+                summary=summary, merged_brokers=merged,
+            ))
+            return True
+        return False

@@ -107,10 +107,19 @@ class SummaryPubSub:
         dedup_capacity: int = 4096,
         tracer: Optional[Tracer] = None,
         paranoid: Optional[bool] = None,
+        propagation_mode: str = "delta",
+        suppress_covered: bool = True,
     ):
         self.topology = topology
         self.schema = schema
         self.precision = precision
+        #: ``"delta"`` (default) ships incremental SummaryDeltaMessage
+        #: frames with compressed id sets; ``"full"`` is the original
+        #: per-period SummaryMessage path (figure-reproduction baseline).
+        self.propagation_mode = propagation_mode
+        #: Covered-id suppression (folded in from ``repro.ext.hybrid``):
+        #: subscriptions subsumed by an existing one never hit the wire.
+        self.suppress_covered = suppress_covered
         #: Event-matching engine: "reference" (live summary walk, paper
         #: semantics, the default) or "compiled" (flat snapshot fast path).
         self.matcher = matcher
@@ -182,7 +191,8 @@ class SummaryPubSub:
             self.network.attach(broker_id, _Dispatcher(self, broker_id))
 
         self.propagation = PropagationEngine(
-            self.network, self.brokers, policy=propagation_policy
+            self.network, self.brokers, policy=propagation_policy,
+            mode=propagation_mode,
         )
         self.router = EventRouter(self.network, self.brokers)
         self.propagation.tracer = self.tracer
@@ -225,6 +235,7 @@ class SummaryPubSub:
             matcher=self.matcher,
             dedup_capacity=self.dedup_capacity,
             max_subscriptions=self.max_subscriptions,
+            suppress_covered=self.suppress_covered,
         )
 
     # -- client operations -------------------------------------------------------
@@ -334,6 +345,11 @@ class SummaryPubSub:
             broker_id: self.wire.summary_size(broker.kept_summary)
             for broker_id, broker in self.brokers.items()
         }
+
+    def total_suppressed(self) -> int:
+        """Subscriptions currently covered (stored but never propagated)
+        across all brokers — 0 when ``suppress_covered`` is off."""
+        return sum(broker.suppressed for broker in self.brokers.values())
 
     def ground_truth_matches(self, event: Event) -> Set[Tuple[int, SubscriptionId]]:
         """Every (broker, sid) whose raw subscription matches the event —

@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401  (re-exported driver modules)
     fig10_event_hops,
     fig11_storage,
     latency,
+    propagation_bytes,
     robustness,
     scale,
     sensitivity,
@@ -27,6 +28,7 @@ __all__ = [
     "export",
     "federation",
     "latency",
+    "propagation_bytes",
     "robustness",
     "scale",
     "sensitivity",

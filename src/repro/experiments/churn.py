@@ -62,7 +62,15 @@ def run(
     generator = WorkloadGenerator(
         WorkloadConfig(subsumption=subsumption), seed=seed
     )
-    system = SummaryPubSub(topology, generator.schema)
+    # Pinned to the classic full-summary path: this experiment documents
+    # the bloat-then-refresh dynamics that motivate delta propagation —
+    # delta mode ships removals incrementally, so dead ids would never
+    # accumulate (see repro.experiments.propagation_bytes for the
+    # delta-mode contrast).
+    system = SummaryPubSub(
+        topology, generator.schema,
+        propagation_mode="full", suppress_covered=False,
+    )
     rng = random.Random(seed)
     live: List[Tuple[int, object]] = []  # (broker, sid)
 

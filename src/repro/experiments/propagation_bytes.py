@@ -1,0 +1,171 @@
+"""Steady-state propagation bytes: churn-proportional vs sigma-proportional.
+
+EXPERIMENTS.md documents the one divergence from the paper's figure 8:
+propagation bytes cannot flatten while every period re-ships full
+per-subscription id lists, because those lists grow linearly in the
+resident population sigma.  Delta propagation breaks the coupling — a
+period's :class:`~repro.wire.messages.SummaryDeltaMessage` carries only
+what *changed* (new rows + compressed id blocks + removal ids), so
+steady-state bytes scale with the churn rate and are independent of how
+many subscriptions already live in the system.
+
+This experiment measures exactly that claim.  For each resident
+population it builds the population, lets it propagate (unmeasured), then
+runs a fixed-rate churn regime — the same arrivals/departures per broker
+per period at every population size — and reports bytes per period:
+
+* **delta mode** — periods ship delta frames; removals ride the frames,
+  so no refresh is needed and bytes track churn only;
+* **full mode** — periods ship the classic full-summary frames *plus one
+  full refresh per period*, the honest baseline: without the refresh the
+  removals of steady churn never leave remote kept summaries (the bloat
+  dynamics :mod:`repro.experiments.churn` documents), so a comparable
+  steady state forces re-shipping whole stores, and bytes track sigma.
+
+The acceptance gate (ROADMAP open item 2): doubling the resident
+population changes per-period delta bytes by < 10 % while the full-mode
+baseline roughly doubles.  ``quick=True`` keeps the sweep small for CI;
+``quick=False`` runs the committed 50k -> 100k row pair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.broker.system import SummaryPubSub
+from repro.experiments.common import ExperimentResult
+from repro.network.backbone import cable_wireless_24
+from repro.network.topology import Topology
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["run", "steady_state_bytes"]
+
+
+def steady_state_bytes(
+    topology: Topology,
+    mode: str,
+    residents_per_broker: int,
+    churn_per_broker: int,
+    periods: int,
+    subsumption: float,
+    seed: int,
+) -> Tuple[int, float]:
+    """Build a resident population, churn it at a fixed rate, and return
+    ``(total_residents, propagation_bytes_per_period)`` for ``mode``."""
+    generator = WorkloadGenerator(
+        WorkloadConfig(subsumption=subsumption), seed=seed
+    )
+    # Suppression off on both sides: covered-id suppression shrinks both
+    # modes and would confound the churn-vs-sigma scaling being measured.
+    system = SummaryPubSub(
+        topology, generator.schema,
+        propagation_mode=mode, suppress_covered=False,
+    )
+    rng = random.Random(seed)
+    live: List[Tuple[int, object]] = []
+    for broker_id in topology.brokers:
+        for subscription in generator.subscriptions(residents_per_broker):
+            live.append((broker_id, system.subscribe(broker_id, subscription)))
+    # Establish steady state (unmeasured): residents propagate once.
+    system.run_propagation_period()
+    before = system.propagation_metrics.bytes_sent
+    for _ in range(periods):
+        for broker_id in topology.brokers:
+            for subscription in generator.subscriptions(churn_per_broker):
+                live.append(
+                    (broker_id, system.subscribe(broker_id, subscription))
+                )
+        for _ in range(churn_per_broker * topology.num_brokers):
+            index = rng.randrange(len(live))
+            live[index], live[-1] = live[-1], live[index]
+            broker_id, sid = live.pop()
+            system.unsubscribe(broker_id, sid)
+        system.run_propagation_period()
+        if mode == "full":
+            # Full mode has no incremental removal path; matching the
+            # delta mode's steady state (no dead-id accumulation) costs a
+            # whole-store refresh every period.
+            system.run_full_refresh()
+    per_period = (system.propagation_metrics.bytes_sent - before) / periods
+    return len(live), per_period
+
+
+def run(
+    topology: Optional[Topology] = None,
+    residents_values: Optional[Sequence[int]] = None,
+    churn_per_broker: int = 8,
+    periods: int = 3,
+    subsumption: float = 0.5,
+    quick: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    topology = topology if topology is not None else cable_wireless_24()
+    if residents_values is None:
+        if quick:
+            residents_values = (50, 100)
+        else:
+            # The committed acceptance pair: ~50k and ~100k resident
+            # subscriptions on the 24-broker backbone.
+            residents_values = (
+                50_000 // topology.num_brokers,
+                100_000 // topology.num_brokers,
+            )
+
+    result = ExperimentResult(
+        name="Steady-state propagation bytes (delta vs full)",
+        description=(
+            f"Fixed churn ({churn_per_broker} arrivals + {churn_per_broker} "
+            f"departures per broker per period, {periods} periods) on "
+            f"{topology.num_brokers} brokers; full mode includes the "
+            f"per-period whole-store refresh it needs to match delta "
+            f"mode's no-dead-id steady state."
+        ),
+        columns=[
+            "total_subs",
+            "delta_bytes_per_period",
+            "full_bytes_per_period",
+            "full_over_delta",
+        ],
+    )
+    for residents in residents_values:
+        totals = {}
+        bytes_per_period = {}
+        for mode in ("delta", "full"):
+            totals[mode], bytes_per_period[mode] = steady_state_bytes(
+                topology, mode, residents, churn_per_broker, periods,
+                subsumption, seed,
+            )
+        assert totals["delta"] == totals["full"]
+        result.add_row(
+            total_subs=totals["delta"],
+            delta_bytes_per_period=round(bytes_per_period["delta"]),
+            full_bytes_per_period=round(bytes_per_period["full"]),
+            full_over_delta=round(
+                bytes_per_period["full"] / max(1.0, bytes_per_period["delta"]), 1
+            ),
+        )
+    if len(result.rows) >= 2:
+        first, last = result.rows[0], result.rows[-1]
+        population_growth = last["total_subs"] / first["total_subs"]
+        delta_growth = (
+            last["delta_bytes_per_period"] / first["delta_bytes_per_period"]
+        )
+        full_growth = (
+            last["full_bytes_per_period"] / first["full_bytes_per_period"]
+        )
+        result.notes.append(
+            f"population x{population_growth:.2f}: delta bytes/period "
+            f"x{delta_growth:.3f} (churn-proportional), full bytes/period "
+            f"x{full_growth:.2f} (sigma-proportional)."
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(quick=False))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig10_event_hops,
     fig11_storage,
     latency,
+    propagation_bytes,
     robustness,
     scale,
     sensitivity,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "scale": lambda quick: scale.run(quick=quick),
     "robustness": lambda quick: robustness.run(quick=quick),
     "churn": lambda quick: churn.run(quick=quick),
+    "propbytes": lambda quick: propagation_bytes.run(quick=quick),
     "federation": lambda quick: federation.run(quick=quick),
     "traced": lambda quick: traced_run.run(quick=quick),
 }

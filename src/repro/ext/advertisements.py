@@ -108,6 +108,10 @@ class AdvertisingBroker(SummaryBroker):
     """A summary broker with an advertisement registry and dormant set."""
 
     def __init__(self, *args, **kwargs):
+        # Advertisement filtering is its own suppression mechanism (the
+        # dormant set); the covering frontier would sit unused beside it
+        # and trip the suppression-accounting audit.
+        kwargs.setdefault("suppress_covered", False)
         super().__init__(*args, **kwargs)
         #: All advertisements known here, keyed by their flooded id.
         self.advertisements: Dict[SubscriptionId, Advertisement] = {}

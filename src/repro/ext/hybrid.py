@@ -8,111 +8,59 @@ needs no summary entry of its own — any event matching it also matches its
 coverer, so the coverer's id will bring the event home, where delivery
 re-checks the raw store anyway.
 
-Effects measured by ``benchmarks/test_ablation_hybrid.py``:
+This prefilter proved its worth as an ``ext`` prototype and has since been
+folded into :class:`~repro.broker.broker.SummaryBroker` itself (the
+``suppress_covered`` flag, on by default).  The fold-in also fixed two
+defects of the prototype kept here for the ablation benchmarks:
 
-* propagated summaries carry fewer ids (bandwidth/storage shrink further
-  when the workload has covering structure);
-* matching work at remote brokers drops (shorter id lists);
-* correctness is unchanged *because* home delivery checks every raw local
-  subscription against the event, not just the notified candidate ids.
+* the old ``_rebuild_frontier`` rescanned the *entire* store on every
+  frontier unsubscribe — the core path re-homes only the ids the departed
+  member actually covered (:meth:`SummaryBroker._frontier_remove`), and
+* the old ``suppressed`` counter (``len(store) - len(_summarized_sids)``)
+  drifted when :class:`~repro.siena.poset.CoveringSet` silently *evicted*
+  frontier members covered by a later, more general arrival — the evicted
+  sid stayed in ``_summarized_sids`` while its subscription left the
+  frontier.  The core path counts covered ids directly
+  (``len(_coverer_of)``) over a no-eviction
+  :class:`~repro.siena.poset.SidCoveringIndex`, so the counter is exact
+  by construction (asserted against recomputed ground truth in
+  ``tests/ext/test_hybrid.py``).
 
-Churn safety: unsubscribing a *covering* subscription would strand the
-subscriptions it suppressed (they have no remote presence), so frontier
-removals rebuild the covering frontier and queue newly-uncovered
-subscriptions for propagation at the next period.
+These classes remain as thin aliases so existing experiment/benchmark
+code (``benchmarks/test_ablation_hybrid.py``) keeps working; the ablation
+contrast is now expressed as ``suppress_covered=True`` (hybrid) versus
+``suppress_covered=False`` (plain).
 """
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
-
 from repro.broker.broker import SummaryBroker
 from repro.broker.system import SummaryPubSub
-from repro.model.events import Event
-from repro.model.ids import SubscriptionId
-from repro.model.subscriptions import Subscription
-from repro.siena.poset import CoveringSet
 
 __all__ = ["HybridBroker", "HybridPubSub"]
 
 
 class HybridBroker(SummaryBroker):
-    """A summary broker that suppresses covered subscriptions."""
+    """A summary broker with covered-id suppression forced on.
+
+    Kept for backwards compatibility: suppression now lives in
+    :class:`SummaryBroker` (``suppress_covered=True`` by default); this
+    subclass merely pins the flag so ablation code that instantiates
+    ``HybridBroker`` directly keeps its meaning even if the default ever
+    changes.
+    """
 
     def __init__(self, *args, **kwargs):
+        kwargs["suppress_covered"] = True
         super().__init__(*args, **kwargs)
-        #: The covering frontier of subscriptions that DID enter the summary.
-        self.summarized = CoveringSet()
-        self._summarized_sids: Set[SubscriptionId] = set()
-
-    @property
-    def suppressed(self) -> int:
-        """Local subscriptions absorbed by the frontier (not propagated)."""
-        return len(self.store) - len(self._summarized_sids)
-
-    def subscribe(self, subscription: Subscription) -> SubscriptionId:
-        sid = self.store.subscribe(subscription)
-        if self.summarized.covers(subscription):
-            # Covered: stored for delivery, never summarized or propagated.
-            return sid
-        self.summarized.add(subscription)
-        self._summarized_sids.add(sid)
-        self.pending.append((sid, subscription))
-        return sid
-
-    def unsubscribe(self, sid: SubscriptionId) -> bool:
-        was_frontier = sid in self._summarized_sids
-        if not super().unsubscribe(sid):
-            return False
-        if was_frontier:
-            self._summarized_sids.discard(sid)
-            self._rebuild_frontier()
-        return True
-
-    def _rebuild_frontier(self) -> None:
-        """Recompute the covering frontier after a frontier removal; any
-        subscription that becomes uncovered is queued for propagation."""
-        self.summarized = CoveringSet()
-        promoted: List[Tuple[SubscriptionId, Subscription]] = []
-        for sid, subscription in sorted(self.store.items()):
-            if self.summarized.covers(subscription):
-                continue
-            self.summarized.add(subscription)
-            if sid not in self._summarized_sids:
-                self._summarized_sids.add(sid)
-                promoted.append((sid, subscription))
-        for sid, subscription in promoted:
-            # Re-enter the local kept summary immediately (local events must
-            # match before the next period) and propagate at the next period.
-            self.kept_summary.add(subscription, sid)
-            self.pending.append((sid, subscription))
-
-    def deliver(
-        self, sids: Set[SubscriptionId], event: Event, publish_id: int = 0
-    ) -> Set[SubscriptionId]:
-        """Hybrid delivery ignores the candidate ids and checks the whole
-        raw store: suppressed subscriptions have no remote ids, so the
-        notification for their coverer must fan out to them here."""
-        if publish_id:
-            if publish_id in self._delivered_publishes:
-                self._delivered_publishes.move_to_end(publish_id)  # LRU touch
-                self.duplicates_suppressed += 1
-                return set()
-            self._remember(self._delivered_publishes, publish_id)
-        confirmed: Set[SubscriptionId] = set()
-        for sid, subscription in self.store.items():
-            if subscription.matches(event):
-                confirmed.add(sid)
-        self.false_positive_notifies += len(sids - confirmed)
-        for sid in sorted(confirmed):
-            self.deliveries.append((sid, event))
-            if self.on_delivery is not None:
-                self.on_delivery(self.broker_id, sid, event)
-        return confirmed
 
 
 class HybridPubSub(SummaryPubSub):
     """The summary system with the covering prefilter enabled."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["suppress_covered"] = True
+        super().__init__(*args, **kwargs)
 
     def _create_broker(self, broker_id: int) -> SummaryBroker:
         return HybridBroker(
@@ -124,6 +72,3 @@ class HybridPubSub(SummaryPubSub):
             dedup_capacity=self.dedup_capacity,
             max_subscriptions=self.max_subscriptions,
         )
-
-    def total_suppressed(self) -> int:
-        return sum(broker.suppressed for broker in self.brokers.values())  # type: ignore[attr-defined]

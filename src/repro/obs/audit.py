@@ -34,6 +34,14 @@ Invariants checked (per broker, against its kept multi-broker summary):
     ``popcount(c3)``.
 7.  **Dedup capacity** — the publish-id LRU tables never exceed their
     configured capacity.
+8.  **Removal tracking** — own ids queued for delta-mode removal
+    propagation (``removed_pending`` / ``delta_removed``) are dead in the
+    store, and the period-scoped block is empty between periods.
+9.  **Suppression accounting** — under covered-id suppression the frontier
+    and the covered set partition the store, the two cover maps are exact
+    inverses, every coverer is a live frontier member, covered ids never
+    appear in the kept summary or pending batch, and the ``suppressed``
+    counter equals the covered-map size.
 
 The auditor inspects private structure fields on purpose: it exists to
 distrust the public API.  Enable system-wide paranoid mode with
@@ -136,6 +144,8 @@ class SummaryAuditor:
                 broker.delta_summary, bid, violations, label="delta"
             )
         self._check_local_liveness(broker, violations)
+        self._check_removal_tracking(broker, violations)
+        self._check_suppression_accounting(broker, violations)
         self._check_sampled_soundness(broker, violations)
         self._check_compiled_accounting(broker, violations)
         self._check_dedup_capacity(broker, violations)
@@ -298,6 +308,105 @@ class SummaryAuditor:
                     f"in-flight period delta lists own id {sid} with no "
                     f"store entry — finish_period() would resurrect it",
                 ))
+
+    def _check_removal_tracking(self, broker, violations: List[Violation]) -> None:
+        """Delta-mode removal scheduling: an own id queued for removal
+        propagation must be dead in the store (the sets over-approximate
+        towards *remote* staleness, never towards retracting live ids),
+        and the period-scoped removal block must be empty between periods.
+        """
+        bid = broker.broker_id
+        live = broker.store.ids()
+        for label, queued in (
+            ("removed_pending", getattr(broker, "removed_pending", set())),
+            ("delta_removed", getattr(broker, "delta_removed", set())),
+        ):
+            alive = {sid for sid in queued if sid.broker == bid and sid in live}
+            for sid in sorted(alive)[:3]:
+                violations.append(Violation(
+                    "removal-liveness", bid,
+                    f"{label} queues own id {sid} that is still live in the "
+                    f"store — its removal would retract an active "
+                    f"subscription from remote summaries",
+                ))
+        if broker.delta_summary is None and getattr(broker, "delta_removed", None):
+            violations.append(Violation(
+                "period-scratch", bid,
+                "delta_removed non-empty outside a propagation period",
+            ))
+
+    def _check_suppression_accounting(self, broker, violations: List[Violation]) -> None:
+        """Covered-id suppression: the frontier and the covered set must
+        partition the store, every coverer must be a live frontier member,
+        the inverse maps must agree, and covered ids must stay out of the
+        kept summary and the pending batch (they never hit the wire)."""
+        frontier = getattr(broker, "_frontier", None)
+        if frontier is None:
+            return
+        bid = broker.broker_id
+        live = broker.store.ids()
+        coverer_of = broker._coverer_of
+        covered_by = broker._covered_by
+        frontier_sids = frontier.sids
+        for sid in sorted(frontier_sids - live)[:3]:
+            violations.append(Violation(
+                "suppression-accounting", bid,
+                f"frontier member {sid} has no store entry",
+            ))
+        for sid in sorted(set(coverer_of) & frontier_sids)[:3]:
+            violations.append(Violation(
+                "suppression-accounting", bid,
+                f"{sid} is both covered and a frontier member",
+            ))
+        uncovered = live - frontier_sids - set(coverer_of)
+        for sid in sorted(uncovered)[:3]:
+            violations.append(Violation(
+                "suppression-accounting", bid,
+                f"stored id {sid} is neither a frontier member nor covered "
+                f"— it would never propagate and never match",
+            ))
+        inverse = {
+            sid: coverer
+            for coverer, kids in covered_by.items()
+            for sid in kids
+        }
+        if inverse != coverer_of:
+            drift = set(inverse.items()) ^ set(coverer_of.items())
+            violations.append(Violation(
+                "suppression-accounting", bid,
+                f"_covered_by and _coverer_of diverged on "
+                f"{sorted(drift)[:3]}",
+            ))
+        for sid, coverer in sorted(coverer_of.items())[:self.sample_limit or 0]:
+            if coverer not in frontier_sids:
+                violations.append(Violation(
+                    "suppression-accounting", bid,
+                    f"covered id {sid} points at coverer {coverer} that "
+                    f"left the frontier",
+                ))
+                break
+        covered = set(coverer_of)
+        if covered:
+            own_kept = {
+                sid for sid in broker.kept_summary.all_ids() if sid.broker == bid
+            }
+            for sid in sorted(covered & own_kept)[:3]:
+                violations.append(Violation(
+                    "suppression-accounting", bid,
+                    f"covered id {sid} leaked into the kept summary",
+                ))
+            pending_sids = {sid for sid, _sub in broker.pending}
+            for sid in sorted(covered & pending_sids)[:3]:
+                violations.append(Violation(
+                    "suppression-accounting", bid,
+                    f"covered id {sid} leaked into the pending batch",
+                ))
+        if broker.suppressed != len(coverer_of):
+            violations.append(Violation(
+                "suppression-accounting", bid,
+                f"suppressed counter {broker.suppressed} != covered-map "
+                f"size {len(coverer_of)}",
+            ))
 
     def _check_sampled_soundness(self, broker, violations: List[Violation]) -> None:
         if not self.sample_limit:

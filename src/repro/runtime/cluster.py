@@ -67,6 +67,8 @@ class LocalCluster:
         matcher: str = "compiled",
         match_cache_size: int = DEFAULT_MATCH_CACHE,
         propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+        propagation_mode: str = "delta",
+        suppress_covered: bool = True,
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
         batch_frames: int = DEFAULT_BATCH_FRAMES,
         period_interval: Optional[float] = None,
@@ -95,6 +97,8 @@ class LocalCluster:
                 matcher=matcher,
                 match_cache_size=match_cache_size,
                 propagation_policy=propagation_policy,
+                propagation_mode=propagation_mode,
+                suppress_covered=suppress_covered,
                 queue_frames=queue_frames,
                 batch_frames=batch_frames,
                 period_interval=period_interval,
@@ -278,6 +282,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the live path and kept for debugging)")
     parser.add_argument("--snapshot-dir", default=None,
                         help="drain every broker to snapshots on exit")
+    parser.add_argument("--propagation-mode", choices=("delta", "full"),
+                        default="delta",
+                        help="summary propagation frames (default: delta — "
+                             "incremental SUMMARY_DELTA with generation "
+                             "chaining; 'full' re-ships whole summaries)")
     parser.add_argument("--paranoid", action="store_true")
     return parser
 
@@ -290,6 +299,7 @@ async def _demo(args: argparse.Namespace) -> None:
         workload.schema,
         matcher=args.matcher,
         snapshot_dir=args.snapshot_dir,
+        propagation_mode=args.propagation_mode,
         paranoid=True if args.paranoid else None,
     )
     await cluster.start()

@@ -6,8 +6,11 @@ The first frame of a connection is a :class:`~repro.wire.messages
 .HelloMessage` naming the peer:
 
 * ``ROLE_PEER`` — another broker.  Subsequent frames are the same
-  :class:`SummaryMessage` / :class:`EventMessage` / :class:`NotifyMessage`
-  traffic the simulator moves, dispatched through the *same* engine code
+  :class:`SummaryDeltaMessage` / :class:`SummaryMessage` /
+  :class:`EventMessage` / :class:`NotifyMessage` traffic the simulator
+  moves (delta frames by default, with the same per-link generation
+  chaining and full-summary fallback the simulator's engine uses),
+  dispatched through the *same* engine code
   (:class:`~repro.broker.routing.EventRouter` and the
   :func:`~repro.broker.propagation.select_period_target` policy), so the
   live system makes identical routing decisions to the simulated one.
@@ -65,7 +68,11 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.broker.broker import SummaryBroker
 from repro.broker.persistence import save_broker
-from repro.broker.propagation import TargetPolicy, select_period_target
+from repro.broker.propagation import (
+    PROPAGATION_MODES,
+    TargetPolicy,
+    select_period_target,
+)
 from repro.broker.routing import EventRouter
 from repro.model.ids import IdCodec, SubscriptionId
 from repro.model.schema import Schema, SchemaError, stock_schema
@@ -93,7 +100,9 @@ from repro.wire.messages import (
     ROLE_SUBSCRIBER,
     SubAckMessage,
     SubscribeMessage,
+    SummaryDeltaMessage,
     SummaryMessage,
+    SummaryRequestMessage,
     UnsubscribeMessage,
 )
 
@@ -355,6 +364,8 @@ class BrokerRuntime:
         match_cache_size: int = DEFAULT_MATCH_CACHE,
         dedup_capacity: int = 4096,
         propagation_policy: TargetPolicy = TargetPolicy.HIGHEST_DEGREE,
+        propagation_mode: str = "delta",
+        suppress_covered: bool = True,
         period_interval: Optional[float] = None,
         queue_frames: int = DEFAULT_QUEUE_FRAMES,
         batch_frames: int = DEFAULT_BATCH_FRAMES,
@@ -372,6 +383,16 @@ class BrokerRuntime:
         self.topology = topology
         self.schema = schema
         self.policy = propagation_policy
+        if propagation_mode not in PROPAGATION_MODES:
+            raise ValueError(
+                f"unknown propagation mode {propagation_mode!r}; expected "
+                f"one of {PROPAGATION_MODES}"
+            )
+        #: ``"delta"`` ships per-period :class:`SummaryDeltaMessage` frames
+        #: (adds + removals, per-link generation chaining, full-summary
+        #: fallback on a broken chain); ``"full"`` is the original
+        #: :class:`SummaryMessage`-per-period path.
+        self.propagation_mode = propagation_mode
         self.period_interval = period_interval
         self.queue_frames = queue_frames
         if batch_frames < 1:
@@ -431,6 +452,7 @@ class BrokerRuntime:
             dedup_capacity=dedup_capacity,
             max_subscriptions=max_subscriptions,
             match_cache_size=match_cache_size,
+            suppress_covered=suppress_covered,
         )
         self.broker.tracer = self.tracer
         self.broker.paranoid = self.paranoid
@@ -449,6 +471,9 @@ class BrokerRuntime:
         self._period_task: Optional[asyncio.Task] = None
         self.port: Optional[int] = None
         self.periods_run = 0
+        # -- delta-mode fallback statistics (mirrors PropagationEngine) --
+        self.fallback_requests = 0
+        self.fallback_replies = 0
 
         # -- quiesce arithmetic (LocalCluster barriers) --
         #: broker-to-broker frames put on outbound peer queues.
@@ -673,6 +698,53 @@ class BrokerRuntime:
                 src, message.summary, set(message.merged_brokers)
             )
             return
+        if isinstance(message, SummaryDeltaMessage):
+            applied = self.broker.absorb_delta(
+                src,
+                message.adds,
+                set(message.removed),
+                set(message.merged_brokers),
+                message.base_generation,
+                message.generation,
+            )
+            if not applied:
+                # Chain broke (peer restart, our restore, frame loss): ask
+                # for a full summary instead of merging a stale delta.  The
+                # request rides the outbox and is pumped with this burst.
+                self.fallback_requests += 1
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "delta_rejected", broker=self.broker_id,
+                        trace_id=self.periods_run + 1, src=src,
+                        base_generation=message.base_generation,
+                    )
+                self.network.send(
+                    self.broker_id, src,
+                    SummaryRequestMessage(generation=message.generation),
+                )
+            return
+        if isinstance(message, SummaryRequestMessage):
+            # A live-path rejection means the requester genuinely lost its
+            # chain state (restart/restore), so the resync snapshot is the
+            # *whole* current knowledge — kept plus the open delta.  (The
+            # simulator replies with the period delta only because its
+            # rejections are always mid-period among brokers that kept
+            # their state; here the period never closes for outsiders.)
+            broker = self.broker
+            snapshot = broker.kept_summary.copy()
+            snapshot.merge(broker.delta_summary)
+            broker.link_generations_out[src] = 0
+            self.fallback_replies += 1
+            self.network.send(
+                self.broker_id, src,
+                SummaryMessage(
+                    summary=snapshot,
+                    merged_brokers=frozenset(
+                        broker.merged_brokers | broker.delta_brokers
+                    ),
+                ),
+            )
+            return
         if self.router.handle_message(self.broker_id, src, message):
             return
         raise CodecError(f"unhandled peer message {type(message).__name__}")
@@ -769,6 +841,11 @@ class BrokerRuntime:
         broker.delta_summary = BrokerSummary(broker.schema, broker.precision)
         broker.delta_brokers = {broker.broker_id}
         broker.contacted = set()
+        # Same removal bookkeeping as SummaryBroker.begin_period: snapshot
+        # (without clearing) the queued removals into this period's scratch
+        # and reopen the one-send-per-period window.
+        broker.delta_removed = set(broker.removed_pending)
+        broker.period_acted = False
 
     async def period_act(self) -> Optional[int]:
         """This broker's one Algorithm-2 transmission for the period:
@@ -780,6 +857,9 @@ class BrokerRuntime:
             broker.delta_summary.add(subscription, sid)
         broker.pending = []
         target = select_period_target(self.topology, broker, self.policy)
+        # The send opportunity for this period has now passed (even with no
+        # eligible target): later unsubscribes queue for the next period.
+        broker.period_acted = True
         if target is not None:
             broker.contacted.add(target)
             if self.tracer.enabled:
@@ -788,14 +868,25 @@ class BrokerRuntime:
                     trace_id=self.periods_run + 1, target=target,
                     merged_brokers=len(broker.delta_brokers),
                 )
-            self.network.send(
-                self.broker_id,
-                target,
-                SummaryMessage(
+            if self.propagation_mode == "delta":
+                base = broker.link_generations_out.get(target, 0)
+                generation = base + 1
+                broker.link_generations_out[target] = generation
+                message: Message = SummaryDeltaMessage(
+                    adds=broker.delta_summary.copy(),
+                    removed=frozenset(broker.delta_removed),
+                    merged_brokers=frozenset(broker.delta_brokers),
+                    base_generation=base,
+                    generation=generation,
+                )
+            else:
+                message = SummaryMessage(
                     summary=broker.delta_summary.copy(),
                     merged_brokers=frozenset(broker.delta_brokers),
-                ),
-            )
+                )
+                # A full frame restarts the chain towards this neighbor.
+                broker.link_generations_out[target] = 0
+            self.network.send(self.broker_id, target, message)
         await self._pump()
         return target
 
@@ -808,6 +899,12 @@ class BrokerRuntime:
         broker = self.broker
         broker.kept_summary.merge(broker.delta_summary)
         broker.merged_brokers |= broker.delta_brokers
+        # Removals (own + peers' delta blocks) apply after the merge, same
+        # order as SummaryBroker.finish_period; what this period shipped is
+        # no longer pending for the next one.
+        for sid in broker.delta_removed:
+            broker.kept_summary.remove(sid)
+        broker.removed_pending -= broker.delta_removed
         self._open_period()
         self.periods_run += 1
         if self.auditor is not None:
@@ -829,6 +926,8 @@ class BrokerRuntime:
         registry.gauge("runtime.frames_processed").set(self.frames_processed)
         registry.gauge("runtime.frames_dropped").set(self.frames_dropped)
         registry.gauge("runtime.periods_run").set(self.periods_run)
+        registry.gauge("runtime.fallback_requests").set(self.fallback_requests)
+        registry.gauge("runtime.fallback_replies").set(self.fallback_replies)
         registry.gauge("runtime.client_sessions").set(len(self._sessions))
         registry.gauge("runtime.subscriptions").set(len(self.broker.store))
         registry.gauge("runtime.batch_size").set(self.metrics.batch_size)
@@ -907,6 +1006,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "the live path and kept for debugging)")
     parser.add_argument("--precision", choices=("coarse", "exact"),
                         default="coarse")
+    parser.add_argument("--propagation-mode", choices=PROPAGATION_MODES,
+                        default="delta",
+                        help="summary propagation framing (default: delta — "
+                             "incremental frames with full-summary fallback; "
+                             "'full' re-ships the whole period summary)")
     parser.add_argument("--queue-frames", type=int, default=DEFAULT_QUEUE_FRAMES)
     parser.add_argument("--batch-frames", type=int, default=DEFAULT_BATCH_FRAMES,
                         help="max frames per inbound dispatch batch")
@@ -935,6 +1039,7 @@ async def _serve(args: argparse.Namespace) -> None:
         stock_schema(),
         precision=Precision(args.precision),
         matcher=args.matcher,
+        propagation_mode=args.propagation_mode,
         period_interval=args.period_interval or None,
         queue_frames=args.queue_frames,
         batch_frames=args.batch_frames,

@@ -38,6 +38,7 @@ from repro.model.ids import IdCodec, SubscriptionId
 from repro.model.schema import Schema
 from repro.model.subscriptions import Subscription
 from repro.model.types import AttributeType
+from repro.summary import idsets
 from repro.summary.aacs import AACS
 from repro.summary.intervals import Interval
 from repro.summary.patterns import (
@@ -396,60 +397,88 @@ class WireCodec:
             for _ in range(count)
         }
 
+    def write_compact_id_set(self, writer: ByteWriter, ids: Set[SubscriptionId]) -> None:
+        """Roaring-style containers of sorted varint gaps (delta frames)."""
+        idsets.write_id_set(writer, ids, self.id_codec)
+
+    def read_compact_id_set(self, reader: ByteReader) -> Set[SubscriptionId]:
+        return idsets.read_id_set(reader, self.id_codec)
+
     # -- summaries --------------------------------------------------------------------
 
     def encode_summary(self, summary: BrokerSummary) -> bytes:
+        return self._encode_summary(summary, self.write_id_list)
+
+    def encode_summary_compact(self, summary: BrokerSummary) -> bytes:
+        """The delta-frame summary layout: identical row structure, but id
+        lists ride as compressed containers (:mod:`repro.summary.idsets`).
+        The classic :meth:`encode_summary` keeps the fixed-width lists the
+        paper's figures charge, so published numbers stay comparable."""
+        return self._encode_summary(summary, self.write_compact_id_set)
+
+    def _encode_summary(self, summary: BrokerSummary, write_ids) -> bytes:
         writer = ByteWriter()
         writer.byte(0 if summary.precision is Precision.COARSE else 1)
         arithmetic = summary.arithmetic_structures()
         writer.varint(len(arithmetic))
         for name in sorted(arithmetic, key=self.schema.position):
             writer.varint(self.schema.position(name))
-            self._write_aacs(writer, arithmetic[name])
+            self._write_aacs(writer, arithmetic[name], write_ids)
         strings = summary.string_structures()
         writer.varint(len(strings))
         for name in sorted(strings, key=self.schema.position):
             writer.varint(self.schema.position(name))
-            self._write_sacs(writer, strings[name])
+            self._write_sacs(writer, strings[name], write_ids)
         return writer.getvalue()
 
     @_decode_guard
     def decode_summary(self, data: bytes) -> BrokerSummary:
+        return self._decode_summary(data, self.read_id_list)
+
+    @_decode_guard
+    def decode_summary_compact(self, data: bytes) -> BrokerSummary:
+        return self._decode_summary(data, self.read_compact_id_set)
+
+    def _decode_summary(self, data: bytes, read_ids) -> BrokerSummary:
         reader = ByteReader(data)
         precision = Precision.COARSE if reader.byte() == 0 else Precision.EXACT
         summary = BrokerSummary(self.schema, precision)
         for _ in range(reader.varint()):
             spec = self._spec_at(reader.varint())
-            structure = self._read_aacs(reader, precision)
+            structure = self._read_aacs(reader, precision, read_ids)
             summary._aacs[spec.name] = structure  # codec is a friend module
         for _ in range(reader.varint()):
             spec = self._spec_at(reader.varint())
-            summary._sacs[spec.name] = self._read_sacs(reader, precision)
+            summary._sacs[spec.name] = self._read_sacs(reader, precision, read_ids)
         if not reader.at_end():
             raise CodecError(f"{reader.remaining} trailing bytes after summary")
         return summary
 
-    def _write_aacs(self, writer: ByteWriter, structure: AACS) -> None:
+    def _write_aacs(self, writer: ByteWriter, structure: AACS, write_ids=None) -> None:
+        if write_ids is None:
+            write_ids = self.write_id_list
         rows = structure.range_rows()
         writer.varint(len(rows))
         for row in rows:
             self._write_interval(writer, row.interval)
-            self.write_id_list(writer, row.ids)
+            write_ids(writer, row.ids)
         equalities = structure.equality_rows()
         writer.varint(len(equalities))
         for value, ids in equalities:
             writer.float_value(value, self.value_width)
-            self.write_id_list(writer, set(ids))
+            write_ids(writer, set(ids))
 
-    def _read_aacs(self, reader: ByteReader, precision: Precision) -> AACS:
+    def _read_aacs(self, reader: ByteReader, precision: Precision, read_ids=None) -> AACS:
+        if read_ids is None:
+            read_ids = self.read_id_list
         structure = AACS(precision)
         for _ in range(reader.varint()):
             interval = self._read_interval(reader)
-            ids = self.read_id_list(reader)
+            ids = read_ids(reader)
             structure.insert_interval(interval, ids)
         for _ in range(reader.varint()):
             value = reader.float_value(self.value_width)
-            ids = self.read_id_list(reader)
+            ids = read_ids(reader)
             structure._insert_point(value, ids)
         return structure
 
@@ -468,18 +497,22 @@ class WireCodec:
         except ValueError as exc:
             raise CodecError(f"invalid interval on wire: {exc}") from exc
 
-    def _write_sacs(self, writer: ByteWriter, structure: SACS) -> None:
+    def _write_sacs(self, writer: ByteWriter, structure: SACS, write_ids=None) -> None:
+        if write_ids is None:
+            write_ids = self.write_id_list
         rows = structure.rows()
         writer.varint(len(rows))
         for row in rows:
             self._write_pattern(writer, row.pattern)
-            self.write_id_list(writer, row.ids)
+            write_ids(writer, row.ids)
 
-    def _read_sacs(self, reader: ByteReader, precision: Precision) -> SACS:
+    def _read_sacs(self, reader: ByteReader, precision: Precision, read_ids=None) -> SACS:
+        if read_ids is None:
+            read_ids = self.read_id_list
         structure = SACS(precision)
         for _ in range(reader.varint()):
             pattern = self._read_pattern(reader)
-            ids = self.read_id_list(reader)
+            ids = read_ids(reader)
             structure.insert_pattern(pattern, ids)
         return structure
 

@@ -67,6 +67,8 @@ __all__ = [
     "ROLE_PRODUCER",
     "ROLE_SUBSCRIBER",
     "SummaryMessage",
+    "SummaryDeltaMessage",
+    "SummaryRequestMessage",
     "SubAckMessage",
     "SubscribeMessage",
     "SubscriptionBatchMessage",
@@ -93,6 +95,9 @@ class MessageKind(enum.IntEnum):
     UNSUBSCRIBE = 10
     PING = 11
     PONG = 12
+    # -- incremental propagation (delta mode) --
+    SUMMARY_DELTA = 13
+    SUMMARY_REQUEST = 14
 
 
 #: :class:`HelloMessage` roles — who is on the other end of a connection.
@@ -109,6 +114,47 @@ class SummaryMessage:
     merged_brokers: FrozenSet[int]
 
     kind = MessageKind.SUMMARY
+
+
+@dataclass(frozen=True)
+class SummaryDeltaMessage:
+    """One period's incremental summary update (delta propagation mode).
+
+    ``adds`` is the period delta (rows for subscriptions that are new on
+    this link), ``removed`` the ids withdrawn since the last delta, and
+    ``merged_brokers`` the accompanying Merged_Brokers contribution — the
+    same Algorithm-2 payload as :class:`SummaryMessage`, but incremental.
+
+    The generation pair implements per-link delta chaining: the receiver
+    applies the delta only when ``base_generation`` equals the generation
+    it last acked from this sender; otherwise it answers with a
+    :class:`SummaryRequestMessage` and the sender falls back to a full
+    :class:`SummaryMessage` (which resets the link to generation 0).
+    Id sets inside ``adds`` and ``removed`` ride the compressed container
+    encoding of :mod:`repro.summary.idsets`.
+    """
+
+    adds: BrokerSummary
+    removed: FrozenSet[SubscriptionId]
+    merged_brokers: FrozenSet[int]
+    base_generation: int
+    generation: int
+
+    kind = MessageKind.SUMMARY_DELTA
+
+
+@dataclass(frozen=True)
+class SummaryRequestMessage:
+    """A receiver's request for a full summary after rejecting a delta.
+
+    ``generation`` echoes the receiver's current acked generation for the
+    link (diagnostic only — any full :class:`SummaryMessage` answer resets
+    the link regardless).
+    """
+
+    generation: int = 0
+
+    kind = MessageKind.SUMMARY_REQUEST
 
 
 @dataclass(frozen=True)
@@ -279,6 +325,8 @@ class PongMessage:
 
 Message = Union[
     SummaryMessage,
+    SummaryDeltaMessage,
+    SummaryRequestMessage,
     SubscriptionBatchMessage,
     EventMessage,
     NotifyMessage,
@@ -310,8 +358,10 @@ class MessageCodec:
         # over an immutable Event and frozensets), so their encodings can
         # be memoized: the routing layer sizes a frame for the bandwidth
         # ledger and the writer loop encodes the same frame again moments
-        # later.  SUMMARY frames hold a *mutable* BrokerSummary and must
-        # never be cached.
+        # later.  SUMMARY and SUMMARY_DELTA frames hold a *mutable*
+        # BrokerSummary (delta frames are built straight from live
+        # ``delta_summary`` state) and must never be cached — a stale
+        # memo entry would re-send pre-mutation bytes after a size() call.
         self._hot_frames: "OrderedDict[Message, bytes]" = OrderedDict()
 
     # -- encoding --------------------------------------------------------------
@@ -351,6 +401,16 @@ class MessageCodec:
             payload = self.wire.encode_summary(message.summary)
             writer.varint(len(payload))
             writer.raw(payload)
+        elif isinstance(message, SummaryDeltaMessage):
+            writer.varint(message.base_generation)
+            writer.varint(message.generation)
+            self.wire.write_broker_set(writer, set(message.merged_brokers))
+            self.wire.write_compact_id_set(writer, set(message.removed))
+            payload = self.wire.encode_summary_compact(message.adds)
+            writer.varint(len(payload))
+            writer.raw(payload)
+        elif isinstance(message, SummaryRequestMessage):
+            writer.varint(message.generation)
         elif isinstance(message, (SubscriptionBatchMessage, AdvertisementMessage)):
             writer.varint(len(message.entries))
             for sid, subscription in message.entries:
@@ -422,6 +482,21 @@ class MessageCodec:
             message = SummaryMessage(
                 summary=self.wire.decode_summary(payload), merged_brokers=brokers
             )
+        elif kind is MessageKind.SUMMARY_DELTA:
+            base_generation = reader.varint()
+            generation = reader.varint()
+            brokers = frozenset(self.wire.read_broker_set(reader))
+            removed = frozenset(self.wire.read_compact_id_set(reader))
+            payload = reader.raw(reader.varint())
+            message = SummaryDeltaMessage(
+                adds=self.wire.decode_summary_compact(payload),
+                removed=removed,
+                merged_brokers=brokers,
+                base_generation=base_generation,
+                generation=generation,
+            )
+        elif kind is MessageKind.SUMMARY_REQUEST:
+            message = SummaryRequestMessage(generation=reader.varint())
         elif kind in (MessageKind.SUBSCRIPTION_BATCH, MessageKind.ADVERTISEMENT):
             count = reader.varint()
             entries = []

@@ -1,0 +1,157 @@
+"""Hypothesis differential: delta-propagated backbone ≡ full-summary one.
+
+Two identical systems — one shipping :class:`SummaryDeltaMessage` frames,
+one the classic full-summary frames — run the same churn script (arrivals,
+departures, *mid-period* departures injected between Algorithm-2
+iterations) with paranoid audits on.  Equivalence claims:
+
+* ``Merged_Brokers`` identical everywhere (the delta frame carries the
+  same broker sets);
+* kept summaries agree on every *live* id (delta mode additionally sheds
+  dead ids incrementally, so its kept sets are a subset of full mode's);
+* per-consumer deliveries identical and equal to the ground-truth oracle.
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker.system import SummaryPubSub
+from repro.model import Event, parse_subscription, stock_schema
+from repro.network import paper_example_tree
+
+SCHEMA = stock_schema()
+
+POOL = [
+    parse_subscription(SCHEMA, text)
+    for text in (
+        "price < 20",
+        "price < 10",
+        "price < 5",
+        "price < 10 AND symbol = OTE",
+        "volume > 1000",
+        "volume > 5000",
+        "symbol = OTE",
+        "price > 2 AND price < 12",
+    )
+]
+
+PROBES = [
+    Event.of(price=3.0),
+    Event.of(price=7.0, symbol="OTE"),
+    Event.of(price=15.0),
+    Event.of(volume=6000),
+    Event.of(price=11.0, volume=1500),
+]
+
+period_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("sub"), st.integers(0, 400), st.integers(0, len(POOL) - 1)),
+        st.tuples(st.just("unsub"), st.integers(0, 400), st.just(0)),
+    ),
+    max_size=10,
+)
+
+churn_script = st.lists(
+    st.tuples(period_ops, period_ops),  # (before-period ops, mid-period unsubs)
+    min_size=1,
+    max_size=3,
+)
+
+
+def apply_ops(system, ops, live, unsub_only=False):
+    brokers = sorted(system.topology.brokers)
+    for op, arg, pool_index in ops:
+        if op == "sub" and not unsub_only:
+            broker_id = brokers[arg % len(brokers)]
+            live.append((broker_id, system.subscribe(broker_id, POOL[pool_index])))
+        elif op == "unsub" and live:
+            broker_id, sid = live.pop(arg % len(live))
+            assert system.unsubscribe(broker_id, sid)
+
+
+def run_period_with_midperiod_ops(system, mid_ops, live):
+    """The engine's period body with departures injected after the first
+    degree class acts — the window run_propagation_period can't reach."""
+    engine = system.propagation
+    topology = system.network.topology
+    system.network.metrics = system.propagation_metrics
+    for broker in engine.brokers.values():
+        broker.begin_period()
+    injected = False
+    for iteration in range(1, topology.max_degree + 1):
+        for broker_id in topology.brokers_by_degree(iteration):
+            engine._act(engine.brokers[broker_id])
+        if not injected:
+            apply_ops(system, mid_ops, live, unsub_only=True)
+            injected = True
+        system.network.flush_iteration()
+    for _ in range(2 * len(engine.brokers) + 2):
+        if not system.network.has_pending:
+            break
+        system.network.flush_iteration()
+    for broker in engine.brokers.values():
+        broker.finish_period()
+    engine.periods_run += 1
+
+
+def live_ids(system):
+    return {
+        sid for broker in system.brokers.values() for sid in broker.store.ids()
+    }
+
+
+def kept_ids(system, broker_id):
+    return set(system.brokers[broker_id].kept_summary.all_ids())
+
+
+@given(script=churn_script)
+@settings(max_examples=25, deadline=None)
+def test_delta_backbone_equals_full_backbone(script):
+    os.environ["REPRO_PARANOID"] = "1"
+    try:
+        systems = {
+            mode: SummaryPubSub(
+                paper_example_tree(), SCHEMA,
+                propagation_mode=mode, paranoid=True,
+            )
+            for mode in ("delta", "full")
+        }
+        lives = {mode: [] for mode in systems}
+        for before_ops, mid_ops in script:
+            for mode, system in systems.items():
+                apply_ops(system, before_ops, lives[mode])
+                run_period_with_midperiod_ops(system, mid_ops, lives[mode])
+        delta, full = systems["delta"], systems["full"]
+
+        assert lives["delta"] == lives["full"]
+        for broker_id in delta.brokers:
+            assert (
+                delta.brokers[broker_id].merged_brokers
+                == full.brokers[broker_id].merged_brokers
+            )
+            # Kept summaries agree on live ids; delta mode never keeps
+            # *more* (its removal blocks shed dead ids full mode retains).
+            alive = live_ids(delta)
+            assert kept_ids(delta, broker_id) <= kept_ids(full, broker_id)
+            assert (
+                kept_ids(delta, broker_id) & alive
+                == kept_ids(full, broker_id) & alive
+            )
+
+        publishers = sorted(delta.topology.brokers)
+        for index, event in enumerate(PROBES):
+            publisher = publishers[index % len(publishers)]
+            got = {
+                mode: {
+                    (d.broker, d.sid)
+                    for d in system.publish(publisher, event).deliveries
+                }
+                for mode, system in systems.items()
+            }
+            truth = delta.ground_truth_matches(event)
+            assert full.ground_truth_matches(event) == truth
+            assert got["delta"] == truth
+            assert got["full"] == truth
+    finally:
+        os.environ.pop("REPRO_PARANOID", None)

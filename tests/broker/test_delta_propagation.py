@@ -1,0 +1,199 @@
+"""Delta-mode propagation: generation chaining, removals, fallback.
+
+The refresh-then-late-delta regression lives here (satellite bugfix): a
+delta frame that was built *before* a full refresh but applied *after* it
+carries a stale base generation and must be rejected — silently merging it
+would resurrect the pre-refresh worldview the refresh just replaced.  The
+simulator's refreshes are synchronous and global, so the interleaving is
+constructed explicitly against the engine/broker API (in the live runtime
+it arises naturally from frames in flight across a restart).
+"""
+
+import pytest
+
+from repro.broker.broker import SummaryBroker
+from repro.broker.system import SummaryPubSub
+from repro.model import parse_subscription
+from repro.network import Topology
+from repro.summary import BrokerSummary, Precision
+from repro.wire.messages import (
+    SummaryDeltaMessage,
+    SummaryMessage,
+    SummaryRequestMessage,
+)
+
+
+def delta_system(schema, n=3, **kwargs):
+    kwargs.setdefault("propagation_mode", "delta")
+    kwargs.setdefault("suppress_covered", False)
+    return SummaryPubSub(Topology.line(n), schema, **kwargs)
+
+
+class TestDeltaPeriods:
+    def test_adds_propagate_like_full_mode(self, schema):
+        system = delta_system(schema)
+        sid = system.subscribe(0, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        assert any(
+            sid in system.brokers[b].kept_summary.all_ids() for b in (1, 2)
+        )
+
+    def test_merged_brokers_match_full_mode(self, schema):
+        def merged(mode):
+            system = SummaryPubSub(
+                Topology.line(4), schema,
+                propagation_mode=mode, suppress_covered=False,
+            )
+            for broker_id in range(4):
+                system.subscribe(
+                    broker_id,
+                    parse_subscription(schema, f"price < {broker_id + 1}"),
+                )
+            system.run_propagation_period()
+            system.run_propagation_period()
+            return {
+                b: frozenset(system.brokers[b].merged_brokers)
+                for b in system.brokers
+            }
+
+        assert merged("delta") == merged("full")
+
+    def test_removals_propagate_without_refresh(self, schema):
+        system = delta_system(schema)
+        sid = system.subscribe(0, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        holders = [
+            b for b in (1, 2)
+            if sid in system.brokers[b].kept_summary.all_ids()
+        ]
+        assert holders
+        assert system.unsubscribe(0, sid)
+        system.run_propagation_period()
+        for b in holders:
+            assert sid not in system.brokers[b].kept_summary.all_ids()
+
+    def test_generations_advance_per_link(self, schema):
+        system = delta_system(schema)
+        system.subscribe(0, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        system.run_propagation_period()
+        sender = next(
+            b for b in system.brokers.values() if b.link_generations_out
+        )
+        assert max(sender.link_generations_out.values()) >= 2
+        assert system.propagation.fallback_requests == 0
+
+
+class TestAbsorbDelta:
+    def make_broker(self, schema):
+        broker = SummaryBroker(0, schema, suppress_covered=False)
+        broker.begin_period()
+        return broker
+
+    def adds(self, schema, sid_source):
+        summary = BrokerSummary(schema, Precision.COARSE)
+        sid = sid_source.subscribe(parse_subscription(schema, "price < 5"))
+        summary.add(sid_source.store.get(sid), sid)
+        return summary, sid
+
+    def test_chained_delta_accepted(self, schema):
+        broker = self.make_broker(schema)
+        source = SummaryBroker(1, schema, suppress_covered=False)
+        adds, sid = self.adds(schema, source)
+        assert broker.absorb_delta(1, adds, set(), {1}, 0, 1)
+        assert broker.link_generations_in[1] == 1
+        assert sid in broker.delta_summary.all_ids()
+        assert 1 in broker.delta_brokers
+
+    def test_stale_base_rejected_without_state_change(self, schema):
+        broker = self.make_broker(schema)
+        source = SummaryBroker(1, schema, suppress_covered=False)
+        adds, sid = self.adds(schema, source)
+        assert not broker.absorb_delta(1, adds, {sid}, {1}, 3, 4)
+        assert broker.link_generations_in.get(1, 0) == 0
+        assert sid not in broker.delta_summary.all_ids()
+        assert not broker.delta_removed
+        assert broker.delta_brokers == {0}
+
+    def test_between_periods_rejected(self, schema):
+        broker = SummaryBroker(0, schema, suppress_covered=False)
+        source = SummaryBroker(1, schema, suppress_covered=False)
+        adds, _sid = self.adds(schema, source)
+        assert broker.delta_summary is None
+        assert not broker.absorb_delta(1, adds, set(), {1}, 0, 1)
+
+
+class TestRefreshThenLateDelta:
+    """The satellite regression: refresh invalidates in-flight deltas."""
+
+    def stale_delta(self, schema, src_broker: SummaryBroker, generation: int):
+        summary = BrokerSummary(schema, Precision.COARSE)
+        sid = src_broker.subscribe(parse_subscription(schema, "volume > 9"))
+        summary.add(src_broker.store.get(sid), sid)
+        return (
+            SummaryDeltaMessage(
+                adds=summary,
+                removed=frozenset(),
+                merged_brokers=frozenset({src_broker.broker_id}),
+                base_generation=generation - 1,
+                generation=generation,
+            ),
+            sid,
+        )
+
+    def test_late_delta_after_refresh_is_rejected(self, schema):
+        system = delta_system(schema)
+        system.subscribe(1, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        system.run_propagation_period()  # generation chains now >= 1
+        # A frame built against the pre-refresh chain, "in flight" while...
+        message, sid = self.stale_delta(schema, system.brokers[1], generation=9)
+        system.run_full_refresh()  # ...the refresh resets every chain.
+        target = system.brokers[0]
+        target.begin_period()
+        before_ids = set(target.delta_summary.all_ids())
+        requests_before = system.propagation.fallback_requests
+        assert system.propagation.handle_message(0, 1, message)
+        # Rejected: nothing merged, a full-summary request went out instead.
+        assert set(target.delta_summary.all_ids()) == before_ids
+        assert sid not in target.delta_summary.all_ids()
+        assert system.propagation.fallback_requests == requests_before + 1
+        target.finish_period()
+
+    def test_fallback_request_yields_full_summary_resync(self, schema):
+        system = delta_system(schema)
+        system.subscribe(1, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        message, stale_sid = self.stale_delta(schema, system.brokers[1], generation=7)
+        system.run_full_refresh()
+        # Drive the whole reject -> request -> reply chain through the
+        # simulator network so the resync lands inside a real period.
+        target = system.brokers[0]
+        target.begin_period()
+        system.brokers[1].begin_period()
+        assert system.propagation.handle_message(0, 1, message)
+        while system.network.has_pending:
+            system.network.flush_iteration()
+        replies = system.propagation.fallback_replies
+        assert replies >= 1
+        # The reply restarted broker 1's chain towards broker 0.
+        assert system.brokers[1].link_generations_out[0] == 0
+        assert target.link_generations_in[1] == 0
+        for broker in system.brokers.values():
+            broker.finish_period()
+        # The resync absorbed broker 1's snapshot (Merged_Brokers gained 1)
+        # and the stale frame's content never leaked in.
+        assert 1 in system.brokers[0].merged_brokers
+        assert stale_sid not in system.brokers[0].kept_summary.all_ids()
+
+    def test_request_between_periods_ships_kept_summary(self, schema):
+        system = delta_system(schema)
+        sid = system.subscribe(1, parse_subscription(schema, "price < 5"))
+        system.run_propagation_period()
+        assert system.brokers[1].delta_summary is None  # between periods
+        system.propagation.handle_message(1, 0, SummaryRequestMessage(generation=3))
+        queued = [message for (_dst, _seq, _src, message) in system.network._pending]
+        assert len(queued) == 1
+        reply = queued[0]
+        assert isinstance(reply, SummaryMessage)
+        assert sid in reply.summary.all_ids()

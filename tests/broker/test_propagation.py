@@ -132,7 +132,10 @@ class TestPolicies:
 
     def test_multi_period_accumulates(self, figure7_tree):
         schema = stock_schema()
-        system = SummaryPubSub(figure7_tree, schema)
+        # suppress_covered off: "price > 2" is covered by "price > 1" and
+        # would (correctly) never propagate, but this test is about
+        # multi-period delta accumulation, not suppression.
+        system = SummaryPubSub(figure7_tree, schema, suppress_covered=False)
         system.subscribe(0, parse_subscription(schema, "price > 1"))
         system.run_propagation_period()
         system.subscribe(0, parse_subscription(schema, "price > 2"))

@@ -1,0 +1,137 @@
+"""Covered-id suppression inside SummaryBroker (the hybrid fold-in).
+
+The prototype this replaced (``repro.ext.hybrid``) had two churn defects:
+a whole-store frontier rebuild on every unsubscribe, and a ``suppressed``
+counter that drifted when the covering structure evicted members.  The
+Hypothesis churn sequence below asserts the counter against *recomputed*
+ground truth — every non-frontier store member must be covered by some
+frontier member, brute-forced with :func:`subscription_covers` — after
+every operation, alongside the paranoid suppression-accounting audit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broker.broker import SummaryBroker
+from repro.model import Event, parse_subscription, stock_schema
+from repro.obs.audit import SummaryAuditor
+from repro.siena.covering import subscription_covers
+
+SCHEMA = stock_schema()
+
+#: A pool with deliberate covering structure: nested price ranges, narrow
+#: symbol-qualified variants of them, and an unrelated volume family.
+POOL = [
+    parse_subscription(SCHEMA, text)
+    for text in (
+        "price < 20",
+        "price < 10",
+        "price < 5",
+        "price < 10 AND symbol = OTE",
+        "price < 5 AND symbol = OTE",
+        "price < 8 AND symbol = ABC",
+        "volume > 1000",
+        "volume > 5000",
+        "volume > 5000 AND price < 10",
+        "symbol = OTE",
+    )
+]
+
+
+def assert_counter_matches_ground_truth(broker: SummaryBroker) -> None:
+    """Recompute coverage from scratch and compare with the counter."""
+    live = dict(broker.store.items())
+    frontier_sids = broker._frontier.sids
+    covered_sids = set(live) - frontier_sids
+    assert broker.suppressed == len(covered_sids)
+    assert broker.frontier_size == len(frontier_sids)
+    for sid in covered_sids:
+        assert any(
+            subscription_covers(broker._frontier.subscription_of(f), live[sid])
+            for f in frontier_sids
+        ), f"{sid} counted as suppressed but no frontier member covers it"
+    # The recorded coverer itself must cover (not merely *some* member).
+    for covered, coverer in broker._coverer_of.items():
+        assert subscription_covers(
+            broker._frontier.subscription_of(coverer), live[covered]
+        )
+
+
+class TestSuppressionChurn:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("sub"), st.integers(0, len(POOL) - 1)),
+                st.tuples(st.just("unsub"), st.integers(0, 200)),
+                st.tuples(st.just("period"), st.just(0)),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counter_equals_recomputed_ground_truth(self, ops):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        broker.paranoid = True
+        auditor = SummaryAuditor(SCHEMA)
+        live = []
+        in_period = False
+        for op, arg in ops:
+            if op == "sub":
+                live.append(broker.subscribe(POOL[arg]))
+            elif op == "unsub" and live:
+                assert broker.unsubscribe(live.pop(arg % len(live)))
+            elif op == "period":
+                if in_period:
+                    broker.finish_period()
+                else:
+                    broker.begin_period()
+                in_period = not in_period
+            assert_counter_matches_ground_truth(broker)
+        if in_period:
+            broker.finish_period()
+        assert_counter_matches_ground_truth(broker)
+        auditor.assert_clean(broker)
+
+    def test_unsubscribing_coverer_rehomes_only_its_orphans(self):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        broad = broker.subscribe(parse_subscription(SCHEMA, "price < 20"))
+        narrow = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        unrelated = broker.subscribe(parse_subscription(SCHEMA, "volume > 5"))
+        assert broker.suppressed == 1
+        assert broker.unsubscribe(broad)
+        # The orphan was promoted to the frontier; the unrelated member
+        # never moved.
+        assert broker.suppressed == 0
+        assert broker._frontier.sids == {narrow, unrelated}
+        assert_counter_matches_ground_truth(broker)
+
+    def test_orphan_rehomed_under_surviving_coverer(self):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        outer = broker.subscribe(parse_subscription(SCHEMA, "price < 20"))
+        middle = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        inner = broker.subscribe(parse_subscription(SCHEMA, "price < 5"))
+        assert broker.suppressed == 2  # middle and inner under outer
+        assert broker.unsubscribe(outer)
+        # middle promotes; inner re-homes under middle, not the frontier.
+        assert broker.suppressed == 1
+        assert broker._coverer_of[inner] == middle
+        assert_counter_matches_ground_truth(broker)
+
+    def test_covered_ids_still_deliver(self):
+        deliveries = []
+        broker = SummaryBroker(
+            0, SCHEMA, suppress_covered=True,
+            on_delivery=lambda b, sid, event: deliveries.append(sid),
+        )
+        coverer = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        covered = broker.subscribe(parse_subscription(SCHEMA, "price < 5"))
+        broker.deliver({coverer}, Event.of(price=3.0))
+        assert set(deliveries) == {coverer, covered}
+
+    def test_suppressed_ids_never_pend_for_propagation(self):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        covered = broker.subscribe(parse_subscription(SCHEMA, "price < 5"))
+        assert covered not in {sid for sid, _ in broker.pending}
+        assert covered not in broker.kept_summary.all_ids()

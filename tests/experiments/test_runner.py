@@ -17,8 +17,8 @@ class TestRunAll:
     def test_registry_covers_every_figure_and_table(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig8", "fig9", "fig10", "fig11", "sec524",
-            "sensitivity", "latency", "scale", "robustness", "churn", "federation",
-            "traced",
+            "sensitivity", "latency", "scale", "robustness", "churn", "propbytes",
+            "federation", "traced",
         }
 
 

@@ -110,8 +110,8 @@ class TestBandwidthBenefit:
             ]
             return subs
 
-        def propagate(cls):
-            system = cls(cable_wireless_24(), schema)
+        def propagate(cls, **kwargs):
+            system = cls(cable_wireless_24(), schema, **kwargs)
             for broker_id in system.topology.brokers:
                 for subscription in covering_workload(broker_id):
                     system.subscribe(broker_id, subscription)
@@ -119,5 +119,7 @@ class TestBandwidthBenefit:
             return system.propagation_metrics.bytes_sent
 
         hybrid_bytes = propagate(HybridPubSub)
-        plain_bytes = propagate(SummaryPubSub)
+        # Suppression is on by default everywhere now; the "plain" side of
+        # this ablation must pin it off to measure the benefit.
+        plain_bytes = propagate(SummaryPubSub, suppress_covered=False)
         assert hybrid_bytes < plain_bytes * 0.5

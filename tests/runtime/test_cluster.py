@@ -144,6 +144,10 @@ class TestCoordinatedPeriods:
             await a.shutdown(drain=False)
             a2 = BrokerRuntime(0, topology, SCHEMA)
             port_a2 = await a2.start(0)
+            # A restarted broker learns its peers again; without this the
+            # delta-fallback request (a2 lost b's generation chain) has
+            # nowhere to go and the resync never completes.
+            a2.set_peers({0: ("127.0.0.1", port_a2), 1: ("127.0.0.1", port_b)})
             b.set_peers({0: ("127.0.0.1", port_a2), 1: ("127.0.0.1", port_b)})
             b._links[0].address = ("127.0.0.1", port_a2)
             # Give the EOF from a's death a moment to land on b's lane.

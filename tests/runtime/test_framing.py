@@ -32,7 +32,9 @@ from repro.wire.messages import (
     SubscribeMessage,
     SubscriptionBatchMessage,
     AdvertisementMessage,
+    SummaryDeltaMessage,
     SummaryMessage,
+    SummaryRequestMessage,
     UnsubscribeMessage,
 )
 
@@ -80,6 +82,14 @@ def every_kind_messages(codec: MessageCodec):
         UnsubscribeMessage(request_id=3, sid=sid),
         PingMessage(token=17),
         PongMessage(token=17),
+        SummaryDeltaMessage(
+            adds=summary,
+            removed=frozenset({SubscriptionId(broker=1, local_id=2, attr_mask=0b10)}),
+            merged_brokers=frozenset({3, 5}),
+            base_generation=4,
+            generation=5,
+        ),
+        SummaryRequestMessage(generation=5),
     ]
     assert {m.kind for m in messages} == set(MessageKind), "union drifted"
     return messages

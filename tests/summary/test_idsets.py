@@ -1,0 +1,148 @@
+"""Compressed id-set containers (repro.summary.idsets)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import IdCodec, SubscriptionId, stock_schema
+from repro.summary.idsets import (
+    CONTAINER_BITS,
+    CONTAINER_SIZE,
+    encoded_size_bound,
+    read_id_set,
+    write_id_set,
+)
+from repro.wire.codec import ByteReader, ByteWriter
+
+
+ID_CODEC = IdCodec(
+    num_brokers=8, max_subscriptions=1 << 20, num_attributes=len(stock_schema())
+)
+
+
+def round_trip(ids):
+    writer = ByteWriter()
+    write_id_set(writer, ids, ID_CODEC)
+    data = writer.getvalue()
+    reader = ByteReader(data)
+    decoded = read_id_set(reader, ID_CODEC)
+    assert reader.at_end()
+    return decoded, data
+
+
+def sid(broker=0, local_id=0, attr_mask=1):
+    return SubscriptionId(broker=broker, local_id=local_id, attr_mask=attr_mask)
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        decoded, data = round_trip(set())
+        assert decoded == set()
+        assert data == b"\x00"
+
+    def test_single(self):
+        ids = {sid(broker=3, local_id=70_000, attr_mask=0b101)}
+        decoded, _data = round_trip(ids)
+        assert decoded == ids
+
+    def test_input_order_does_not_matter(self):
+        ids = [sid(local_id=i) for i in (5, 1, 3, 2, 4)]
+        _, forward = round_trip(ids)
+        _, backward = round_trip(list(reversed(ids)))
+        assert forward == backward
+
+    def test_dense_run_is_near_one_byte_per_position(self):
+        """A contiguous run in one container: gap varints are all zero, so
+        the per-id cost is ~2 bytes (position + small mask)."""
+        ids = {sid(local_id=i, attr_mask=1) for i in range(1000)}
+        decoded, data = round_trip(ids)
+        assert decoded == ids
+        # header (~3 varints) + 1000 x (gap=0 byte + mask=1 byte)
+        assert len(data) < 2 * len(ids) + 10
+        # versus the fixed packed width this deployment would ship.
+        assert len(data) < len(ids) * ID_CODEC.byte_size
+
+    def test_container_split_across_boundary(self):
+        ids = {
+            sid(local_id=CONTAINER_SIZE - 1),
+            sid(local_id=CONTAINER_SIZE),
+            sid(broker=1, local_id=CONTAINER_SIZE - 1),
+        }
+        decoded, _data = round_trip(ids)
+        assert decoded == ids
+
+    @given(
+        keyed=st.dictionaries(
+            # (broker, local_id) identifies a subscription — the mask is a
+            # function of it — so unique keys model every consistent input.
+            st.tuples(
+                st.integers(0, ID_CODEC.num_brokers - 1),
+                st.integers(0, ID_CODEC.max_subscriptions - 1),
+            ),
+            st.integers(1, (1 << ID_CODEC.c3_bits) - 1),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_sets_round_trip_within_bound(self, keyed):
+        ids = {
+            sid(broker=broker, local_id=local_id, attr_mask=mask)
+            for (broker, local_id), mask in keyed.items()
+        }
+        decoded, data = round_trip(ids)
+        assert decoded == ids
+        assert len(data) <= encoded_size_bound(ids)
+
+    def test_conflicting_masks_for_one_key_rejected(self):
+        """Two ids differing only in attr_mask are inconsistent state; the
+        encoder must say so instead of corrupting the gap encoding."""
+        with pytest.raises(ValueError, match="differ only in attr_mask"):
+            round_trip({sid(attr_mask=1), sid(attr_mask=2)})
+
+
+class TestValidation:
+    def test_broker_out_of_range_rejected_on_write(self):
+        with pytest.raises(ValueError, match="broker id"):
+            round_trip({sid(broker=ID_CODEC.num_brokers)})
+
+    def test_local_id_out_of_range_rejected_on_write(self):
+        with pytest.raises(ValueError, match="local id"):
+            round_trip({sid(local_id=ID_CODEC.max_subscriptions)})
+
+    def test_attr_mask_out_of_range_rejected_on_write(self):
+        with pytest.raises(ValueError, match="attribute mask"):
+            round_trip({sid(attr_mask=1 << ID_CODEC.c3_bits)})
+
+    def test_bad_container_broker_rejected_on_read(self):
+        writer = ByteWriter()
+        writer.varint(1)  # one container
+        writer.varint(ID_CODEC.num_brokers)  # broker out of range
+        writer.varint(0)
+        writer.varint(0)
+        with pytest.raises(ValueError, match="container broker"):
+            read_id_set(ByteReader(writer.getvalue()), ID_CODEC)
+
+    def test_offset_overflow_rejected_on_read(self):
+        writer = ByteWriter()
+        writer.varint(1)
+        writer.varint(0)  # broker
+        writer.varint(0)  # container base
+        writer.varint(1)  # one member
+        writer.varint(CONTAINER_SIZE)  # gap pushes offset past the container
+        writer.varint(1)
+        with pytest.raises(ValueError, match="overflows"):
+            read_id_set(ByteReader(writer.getvalue()), ID_CODEC)
+
+    def test_bad_mask_rejected_on_read(self):
+        writer = ByteWriter()
+        writer.varint(1)
+        writer.varint(0)
+        writer.varint(0)
+        writer.varint(1)
+        writer.varint(0)
+        writer.varint(1 << ID_CODEC.c3_bits)
+        with pytest.raises(ValueError, match="attribute mask"):
+            read_id_set(ByteReader(writer.getvalue()), ID_CODEC)
+
+    def test_container_bits_cover_the_deployment(self):
+        """Sanity: a 1M-subscription broker needs only 16 containers."""
+        assert (ID_CODEC.max_subscriptions >> CONTAINER_BITS) == 16
