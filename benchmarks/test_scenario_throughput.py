@@ -1,0 +1,47 @@
+"""Scenario-driver throughput: operations per second through the sweep.
+
+Advisory (not part of tier-1, no committed baseline): times each named
+scenario end-to-end on the simulator — script compilation, churn,
+propagation periods, publishes, and the brute-force oracle — and reports
+operations per second.  The live ``failover`` drill is timed separately
+since socket latency, kills, and restarts dominate it.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_scenario_throughput.py -s
+"""
+
+import time
+
+import pytest
+
+from repro.workload.scenarios import SCENARIOS, run_scenario_sim, scenario_config
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_sim_scenario_throughput(name):
+    config = scenario_config(name)
+    start = time.perf_counter()
+    outcome = run_scenario_sim(config)
+    elapsed = time.perf_counter() - start
+    ops = outcome.publishes + outcome.churn_ops
+    assert outcome.delivery_ratio == 1.0 and outcome.duplicates == 0
+    print(
+        f"{name:>12s}[sim]  {ops:4d} ops in {elapsed * 1e3:7.1f} ms "
+        f"({ops / elapsed:8.0f} ops/s, {len(outcome.expected)} deliveries)"
+    )
+
+
+def test_live_failover_throughput():
+    from repro.runtime.chaos import run_scenario_live
+
+    config = scenario_config("failover")
+    start = time.perf_counter()
+    outcome = run_scenario_live(config)
+    elapsed = time.perf_counter() - start
+    ops = outcome.publishes + outcome.churn_ops
+    assert outcome.delivery_ratio >= 0.99 and outcome.duplicates == 0
+    print(
+        f"{'failover':>12s}[live] {ops:4d} ops in {elapsed * 1e3:7.1f} ms "
+        f"({ops / elapsed:8.0f} ops/s, 2 kill/restart cycles included)"
+    )

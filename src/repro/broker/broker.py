@@ -132,6 +132,15 @@ class SummaryBroker:
         #: coverer sid -> ids it suppresses (and the inverse map).
         self._covered_by: Dict[SubscriptionId, Set[SubscriptionId]] = {}
         self._coverer_of: Dict[SubscriptionId, SubscriptionId] = {}
+        #: Unsubscribed frontier members -> the ids they covered at removal
+        #: time.  Remote summaries keep naming a dead coverer until the
+        #: removal block (or a refresh) reaches them, so notifications for
+        #: the stale id must still expand to its former dependents — else
+        #: the covered subscriptions silently lose deliveries during the
+        #: churn window.  LRU-bounded like the dedup tables (full-summary
+        #: mode never sheds remote ids incrementally, so entries have no
+        #: natural expiry).
+        self._ghost_covers: OrderedDict = OrderedDict()
         if suppress_covered:
             # Deferred import: the siena package's __init__ imports the
             # siena broker, which imports this module — resolvable only
@@ -257,6 +266,24 @@ class SummaryBroker:
         self.delta_summary.merge(summary)
         self.delta_brokers |= brokers
         self.contacted.add(src)
+        self.link_generations_in[src] = 0
+
+    def absorb_summary_snapshot(
+        self, src: int, summary: BrokerSummary, brokers: Set[int]
+    ) -> None:
+        """Absorb a full summary at *any* time, even between periods.
+
+        The live runtime's fallback resync (chain mismatch -> full-summary
+        reply) can straddle a period close — a broker restarted mid-run may
+        request or receive snapshots while no period is open.  A full
+        summary is ground truth, so between periods it folds straight into
+        the kept summary instead of the (absent) period delta.
+        """
+        if self.delta_summary is not None:
+            self.absorb_summary(src, summary, brokers)
+            return
+        self.kept_summary.merge(summary)
+        self.merged_brokers |= set(brokers)
         self.link_generations_in[src] = 0
 
     def absorb_delta(
@@ -389,6 +416,15 @@ class SummaryBroker:
         """
         self._frontier.remove(sid)
         orphans = self._covered_by.pop(sid, set())
+        survivors = {
+            orphan for orphan in orphans if self.store.get(orphan) is not None
+        }
+        if survivors:
+            # Remote brokers notify on the dead coverer's id until the
+            # removal propagates; route those to its former dependents.
+            self._ghost_covers[sid] = frozenset(survivors)
+            if len(self._ghost_covers) > self._dedup_capacity:
+                self._ghost_covers.popitem(last=False)
         for orphan in sorted(orphans):
             subscription = self.store.get(orphan)
             if subscription is None:
@@ -589,12 +625,22 @@ class SummaryBroker:
         expansion is exactly the candidate set the unsuppressed system
         would have produced, filtered by the same re-check.
         """
-        if self._covered_by:
+        if self._covered_by or self._ghost_covers:
+            # Transitive closure: a ghost's dependent can itself have died
+            # and become a ghost before the first removal ever propagated.
             expanded = set(sids)
-            for candidate in sids:
-                covered = self._covered_by.get(candidate)
-                if covered:
-                    expanded |= covered
+            frontier_sids = list(sids)
+            while frontier_sids:
+                candidate = frontier_sids.pop()
+                for covered in (
+                    self._covered_by.get(candidate),
+                    self._ghost_covers.get(candidate),
+                ):
+                    if covered:
+                        for dependent in covered:
+                            if dependent not in expanded:
+                                expanded.add(dependent)
+                                frontier_sids.append(dependent)
             sids = expanded
         if publish_id:
             if publish_id in self._delivered_publishes:

@@ -35,12 +35,14 @@ from repro.wire.codec import ByteReader, ByteWriter, CodecError, ValueWidth, Wir
 
 __all__ = [
     "SnapshotCodec",
+    "allocate_epoch",
     "save_broker",
     "save_system",
     "load_system",
     "snapshot_path",
     "write_snapshot_atomic",
     "SNAPSHOT_MAGIC",
+    "EPOCH_FILE",
 ]
 
 PathLike = Union[str, Path]
@@ -184,6 +186,48 @@ def write_snapshot_atomic(path: Path, data: bytes) -> None:
 def snapshot_path(directory: PathLike, broker_id: int) -> Path:
     """Canonical ``broker-<id>.snap`` location inside a snapshot dir."""
     return Path(directory) / f"broker-{broker_id}.snap"
+
+
+#: Durable epoch counter kept next to the snapshots.
+EPOCH_FILE = "epoch.counter"
+
+
+def allocate_epoch(
+    directory: "Union[str, Path, None]" = None, broker_id: "Union[int, None]" = None
+) -> int:
+    """Mint a publish-id epoch for a (re)starting broker process.
+
+    The 49-bit publish-id namespace is ``[1 | epoch:8 | origin:16 |
+    seq:24]``; surviving peers keep recently seen ids in their dedup
+    tables, so a broker that cold-rejoins after a crash (no snapshot, no
+    memory of its last sequence number) **must not** reuse its previous
+    epoch — its fresh events would re-mint already-seen ids and be eaten
+    as duplicates at the first surviving hop.
+
+    With a ``directory`` the epoch is a durable monotonic counter
+    (atomically written next to the snapshots, one counter per broker when
+    ``broker_id`` is given), guaranteeing a fresh value for up to 255
+    consecutive restarts (the wire field is ``epoch mod 256``).  Without
+    one there is nothing durable to count on, so the fallback is a random
+    16-bit draw — a 1/256 chance of colliding with the previous
+    incarnation mod 256, which the docstringed caller accepts in exchange
+    for zero persistent state.
+    """
+    if directory is None:
+        return int.from_bytes(os.urandom(2), "big") | 1
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    name = EPOCH_FILE if broker_id is None else f"epoch-{broker_id}.counter"
+    path = target / name
+    previous = 0
+    if path.exists():
+        try:
+            previous = int(path.read_text().strip() or 0)
+        except ValueError:
+            previous = 0
+    epoch = previous + 1
+    write_snapshot_atomic(path, str(epoch).encode("ascii"))
+    return epoch
 
 
 def save_broker(broker: SummaryBroker, directory: PathLike, wire: WireCodec) -> Path:

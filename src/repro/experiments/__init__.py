@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (re-exported driver modules)
     propagation_bytes,
     robustness,
     scale,
+    scenarios,
     sensitivity,
     tables,
     traced_run,
@@ -31,6 +32,7 @@ __all__ = [
     "propagation_bytes",
     "robustness",
     "scale",
+    "scenarios",
     "sensitivity",
     "fig8_bandwidth",
     "fig9_prop_hops",

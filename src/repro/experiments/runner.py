@@ -29,6 +29,7 @@ from repro.experiments import (
     propagation_bytes,
     robustness,
     scale,
+    scenarios,
     sensitivity,
     tables,
     traced_run,
@@ -55,6 +56,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
     "propbytes": lambda quick: propagation_bytes.run(quick=quick),
     "federation": lambda quick: federation.run(quick=quick),
     "traced": lambda quick: traced_run.run(quick=quick),
+    "scenarios": lambda quick: scenarios.run(quick=quick),
 }
 
 

@@ -1,6 +1,11 @@
 """Broker overlay substrate: topologies, backbones, metrics, simulator."""
 
-from repro.network.backbone import CW24_CITIES, cable_wireless_24, scale_free_backbone
+from repro.network.backbone import (
+    CW24_CITIES,
+    cable_wireless_24,
+    named_topology,
+    scale_free_backbone,
+)
 from repro.network.faults import LossyNetwork
 from repro.network.federation import Federation, federate, three_isp_federation
 from repro.network.latency import (
@@ -31,6 +36,7 @@ __all__ = [
     "Topology",
     "cable_wireless_24",
     "federate",
+    "named_topology",
     "three_isp_federation",
     "paper_example_tree",
     "scale_free_backbone",

@@ -25,9 +25,14 @@ from typing import Tuple
 
 import networkx as nx
 
-from repro.network.topology import Topology
+from repro.network.topology import Topology, paper_example_tree
 
-__all__ = ["cable_wireless_24", "CW24_CITIES", "scale_free_backbone"]
+__all__ = [
+    "cable_wireless_24",
+    "CW24_CITIES",
+    "named_topology",
+    "scale_free_backbone",
+]
 
 #: City labels for the reconstructed backbone, index = broker id.
 CW24_CITIES: Tuple[str, ...] = (
@@ -123,3 +128,25 @@ def scale_free_backbone(n: int, seed: int = 0, links_per_node: int = 2) -> Topol
         raise ValueError("a backbone needs at least 3 nodes")
     graph = nx.barabasi_albert_graph(n, links_per_node, seed=seed)
     return Topology(graph)
+
+
+def named_topology(name: str) -> Topology:
+    """Resolve a topology name shared by the CLIs and the scenario driver.
+
+    ``cw24`` (the paper's 24-broker Cable & Wireless backbone), ``tree13``
+    (figure 7), ``line<N>``, ``star<N>``, ``scalefree<N>``.
+    """
+    if name == "cw24":
+        return cable_wireless_24()
+    if name == "tree13":
+        return paper_example_tree()
+    for prefix, factory in (
+        ("line", Topology.line),
+        ("star", Topology.star),
+        ("scalefree", scale_free_backbone),
+    ):
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            return factory(int(name[len(prefix):]))
+    raise ValueError(
+        f"unknown topology {name!r} (try cw24, tree13, line4, star8, scalefree16)"
+    )

@@ -21,6 +21,7 @@ simulated contract and ``tests/runtime/test_parity.py`` for the proof
 that both substrates deliver identical event sets.
 """
 
+from repro.runtime.chaos import ChaosController, run_scenario_live
 from repro.runtime.client import ProducerSession, SubscriberSession, SubscribeError
 from repro.runtime.cluster import LocalCluster
 from repro.runtime.framing import (
@@ -43,6 +44,7 @@ from repro.runtime.server import (
 
 __all__ = [
     "BrokerRuntime",
+    "ChaosController",
     "ClientSession",
     "DEFAULT_QUEUE_FRAMES",
     "FrameAssembler",
@@ -58,5 +60,6 @@ __all__ = [
     "encode_frame",
     "named_topology",
     "read_frame",
+    "run_scenario_live",
     "write_frame",
 ]

@@ -81,40 +81,53 @@ class LocalCluster:
         self.schema = schema
         self.host = host
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self._runtime_options = dict(
+            precision=precision,
+            value_width=value_width,
+            matcher=matcher,
+            match_cache_size=match_cache_size,
+            propagation_policy=propagation_policy,
+            propagation_mode=propagation_mode,
+            suppress_covered=suppress_covered,
+            queue_frames=queue_frames,
+            batch_frames=batch_frames,
+            period_interval=period_interval,
+            snapshot_dir=snapshot_dir,
+            host=host,
+            tracer=tracer,
+            paranoid=paranoid,
+        )
         # All runtimes live in this process, so they share one message
         # codec: the codec's event/frame memo caches then dedupe encode
         # and decode work across hops (a real multi-process deployment
         # keeps per-process codecs and per-process caches).
         self.runtimes: Dict[int, BrokerRuntime] = {}
-        shared_codec = None
+        self._shared_codec = None
         for broker_id in topology.brokers:
             runtime = BrokerRuntime(
                 broker_id,
                 topology,
                 schema,
-                precision=precision,
-                value_width=value_width,
-                matcher=matcher,
-                match_cache_size=match_cache_size,
-                propagation_policy=propagation_policy,
-                propagation_mode=propagation_mode,
-                suppress_covered=suppress_covered,
-                queue_frames=queue_frames,
-                batch_frames=batch_frames,
-                period_interval=period_interval,
-                snapshot_dir=snapshot_dir,
-                host=host,
-                tracer=tracer,
-                paranoid=paranoid,
-                message_codec=shared_codec,
+                message_codec=self._shared_codec,
+                **self._runtime_options,
             )
-            if shared_codec is None:
-                shared_codec = runtime.message_codec
+            if self._shared_codec is None:
+                self._shared_codec = runtime.message_codec
             self.runtimes[broker_id] = runtime
         self.addresses: Dict[int, Tuple[str, int]] = {}
         self._producers: List[ProducerSession] = []
         self._subscribers: List[SubscriberSession] = []
+        self._sessions_by_broker: Dict[int, List] = {}
         self._started = False
+        # Chaos bookkeeping: counters of killed incarnations are folded
+        # into this ledger so cluster-wide quiesce arithmetic stays exact
+        # across kills, and the first quiesce after a kill/restart rebases
+        # on observed stability (a crash mid-pipeline loses frames nobody
+        # can account for frame-by-frame).
+        self._ledger_enqueued = 0
+        self._ledger_processed = 0
+        self._quiesce_bias = 0
+        self._chaos_dirty = False
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -165,6 +178,7 @@ class LocalCluster:
             await session.close()
         self._producers.clear()
         self._subscribers.clear()
+        self._sessions_by_broker.clear()
         written = await asyncio.gather(
             *(runtime.shutdown(drain=drain) for runtime in self.runtimes.values())
         )
@@ -178,6 +192,7 @@ class LocalCluster:
             host, port, self.runtimes[broker_id].message_codec
         )
         self._producers.append(session)
+        self._sessions_by_broker.setdefault(broker_id, []).append(session)
         return session
 
     async def subscriber(self, broker_id: int) -> SubscriberSession:
@@ -186,9 +201,110 @@ class LocalCluster:
             host, port, self.runtimes[broker_id].message_codec
         )
         self._subscribers.append(session)
+        self._sessions_by_broker.setdefault(broker_id, []).append(session)
         return session
 
+    # -- chaos lifecycle -------------------------------------------------------
+
+    async def kill_broker(self, broker_id: int) -> BrokerRuntime:
+        """Abruptly crash one broker — no drain, sockets torn mid-frame.
+
+        The dead incarnation's frame counters are folded into the cluster
+        ledger (quiesce arithmetic must keep seeing them), its client
+        sessions are closed and forgotten, and the stale address entry is
+        deliberately *kept*: neighbours go on dialling the dead port, which
+        is exactly the failure the reconnect/reroute machinery must absorb.
+        Returns the killed runtime — its engine objects (``broker
+        .deliveries`` above all) survive for post-mortem accounting.
+        """
+        runtime = self.runtimes.pop(broker_id)
+        for session in self._sessions_by_broker.pop(broker_id, []):
+            try:
+                await session.close()
+            except (ConnectionError, OSError):
+                pass
+            if session in self._producers:
+                self._producers.remove(session)
+            if session in self._subscribers:
+                self._subscribers.remove(session)
+        await runtime.kill()
+        self._ledger_enqueued += runtime.frames_enqueued - runtime.frames_dropped
+        self._ledger_processed += runtime.frames_processed
+        self._chaos_dirty = True
+        return runtime
+
+    async def snapshot_broker(self, broker_id: int, directory=None) -> Path:
+        """Persist one live broker's state (the chaos harness' stand-in
+        for a periodic snapshotter having just run before a crash)."""
+        from repro.broker.persistence import save_broker
+
+        target = Path(directory) if directory is not None else self.snapshot_dir
+        if target is None:
+            raise ValueError("no snapshot directory (pass one or set snapshot_dir)")
+        runtime = self.runtimes[broker_id]
+        return save_broker(runtime.broker, target, runtime.wire)
+
+    async def restart_broker(
+        self,
+        broker_id: int,
+        *,
+        restore_from=None,
+        epoch: Optional[int] = None,
+    ) -> BrokerRuntime:
+        """Boot a fresh incarnation of a killed broker on a *new* port.
+
+        ``restore_from`` warm-starts it from ``broker-<id>.snap`` in that
+        directory; otherwise it cold-rejoins empty.  Either way the updated
+        address map is re-published to every runtime so existing peer lanes
+        re-point at the new port (see ``PeerLink.update_address``).  The
+        epoch defaults to the process-wide allocator, which never reissues
+        a prior incarnation's value — cold rejoins must not re-mint publish
+        ids surviving dedup tables have already seen.
+        """
+        if broker_id in self.runtimes:
+            raise RuntimeError(f"broker {broker_id} is still running")
+        runtime = BrokerRuntime(
+            broker_id,
+            self.topology,
+            self.schema,
+            message_codec=self._shared_codec,
+            epoch=epoch,
+            **self._runtime_options,
+        )
+        if restore_from is not None:
+            path = snapshot_path(Path(restore_from), broker_id)
+            SnapshotCodec(runtime.wire).restore_broker(path.read_bytes(), runtime.broker)
+            # The snapshot is authoritative for this broker's OWN state
+            # (store, sid watermark) but its remote knowledge is frozen at
+            # snapshot time: ``merged_brokers`` claims coverage of churn
+            # that happened while the broker was down, without the rows to
+            # back it.  Serving that overclaim to a neighbor's fallback
+            # SummaryRequest would poison the neighbor's (monotone) claim
+            # set and terminate later event searches before the owner is
+            # found.  Rejoin with own-rows-only truth; the delta-chain
+            # fallbacks re-derive remote knowledge from live neighbors.
+            runtime.broker.reset_merged_state()
+            # The reset closed the runtime's always-open period scratch;
+            # reopen it so peer frames can be absorbed immediately.
+            runtime._open_period()
+        port = await runtime.start(0)
+        self.runtimes[broker_id] = runtime
+        self.addresses[broker_id] = (self.host, port)
+        for peer in self.runtimes.values():
+            peer.set_peers(self.addresses)
+        self._chaos_dirty = True
+        return runtime
+
     # -- coordination ----------------------------------------------------------
+
+    def _frame_totals(self) -> Tuple[int, int]:
+        enqueued = self._ledger_enqueued + sum(
+            r.frames_enqueued - r.frames_dropped for r in self.runtimes.values()
+        )
+        processed = self._ledger_processed + sum(
+            r.frames_processed for r in self.runtimes.values()
+        )
+        return enqueued, processed
 
     async def quiesce(self, timeout: float = 30.0) -> None:
         """Return when no broker-to-broker frame is anywhere in flight.
@@ -200,31 +316,62 @@ class LocalCluster:
         consequence of every send has itself been sent, i.e. true
         quiescence.  Checked stable across two polls to dodge the one
         instant a handler sits between its pump and its counter bump.
+
+        After a kill or restart the strict identity cannot hold: frames
+        can die unaccounted mid-crash (written to a socket whose reader
+        was cancelled, accepted by a server that never dispatched them).
+        The first quiesce after such an event therefore waits for the
+        totals to stop *moving* (a longer stability window) and rebases
+        the residual imbalance into ``_quiesce_bias``; strict arithmetic
+        resumes from that baseline.
         """
+        if self._chaos_dirty:
+            await self._quiesce_rebase(timeout)
+            return
         deadline = asyncio.get_running_loop().time() + timeout
         stable = 0
         while stable < 2:
-            enqueued = sum(
-                r.frames_enqueued - r.frames_dropped for r in self.runtimes.values()
-            )
-            processed = sum(r.frames_processed for r in self.runtimes.values())
-            stable = stable + 1 if enqueued == processed else 0
+            enqueued, processed = self._frame_totals()
+            stable = stable + 1 if enqueued - self._quiesce_bias == processed else 0
             if stable < 2:
                 if asyncio.get_running_loop().time() > deadline:
                     raise asyncio.TimeoutError(
                         f"cluster did not quiesce within {timeout}s "
-                        f"(enqueued={enqueued}, processed={processed})"
+                        f"(enqueued={enqueued}, bias={self._quiesce_bias}, "
+                        f"processed={processed})"
                     )
                 await asyncio.sleep(0.01)
+
+    async def _quiesce_rebase(self, timeout: float) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        previous, stable = None, 0
+        while stable < 5:
+            totals = self._frame_totals()
+            stable = stable + 1 if totals == previous else 0
+            previous = totals
+            if stable < 5:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise asyncio.TimeoutError(
+                        f"cluster did not stabilise after chaos within {timeout}s "
+                        f"(totals={totals})"
+                    )
+                await asyncio.sleep(0.02)
+        enqueued, processed = previous
+        self._quiesce_bias = enqueued - processed
+        self._chaos_dirty = False
 
     async def run_propagation_period(self) -> None:
         """One coordinated Algorithm-2 period, exactly as the simulator's
         :class:`~repro.broker.propagation.PropagationEngine` runs it:
         degree class ``i`` acts at iteration ``i``, and a quiesce barrier
-        stands in for the simulator's per-iteration message flush."""
+        stands in for the simulator's per-iteration message flush.  Killed
+        brokers simply miss their slot (their neighbours' frames to them
+        are dropped and counted by the link layer)."""
         for iteration in range(1, self.topology.max_degree + 1):
             for broker_id in self.topology.brokers_by_degree(iteration):
-                await self.runtimes[broker_id].period_act()
+                runtime = self.runtimes.get(broker_id)
+                if runtime is not None:
+                    await runtime.period_act()
             await self.quiesce()
         for broker_id in sorted(self.runtimes):
             self.runtimes[broker_id].period_close()

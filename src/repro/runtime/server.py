@@ -67,7 +67,7 @@ from types import SimpleNamespace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.broker.broker import SummaryBroker
-from repro.broker.persistence import save_broker
+from repro.broker.persistence import allocate_epoch, save_broker
 from repro.broker.propagation import (
     PROPAGATION_MODES,
     TargetPolicy,
@@ -76,9 +76,9 @@ from repro.broker.propagation import (
 from repro.broker.routing import EventRouter
 from repro.model.ids import IdCodec, SubscriptionId
 from repro.model.schema import Schema, SchemaError, stock_schema
-from repro.network.backbone import cable_wireless_24, scale_free_backbone
+from repro.network.backbone import named_topology
 from repro.network.metrics import NetworkMetrics
-from repro.network.topology import Topology, paper_example_tree
+from repro.network.topology import Topology
 from repro.obs.audit import SummaryAuditor, paranoid_enabled
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
@@ -227,8 +227,26 @@ class PeerLink:
         self.peer_id = peer_id
         self.address = address
         self.queue: "asyncio.Queue[Message]" = asyncio.Queue(maxsize=queue_frames)
+        #: frames claimed by the writer but not yet on the wire — an abrupt
+        #: kill must count them as dropped (they left the queue already).
+        self.inflight = 0
+        self._stale = False
         self._conn: Optional[FrameConnection] = None
         self._task: Optional[asyncio.Task] = None
+
+    def update_address(self, address: Tuple[str, int]) -> None:
+        """Re-point the lane at a restarted peer's fresh port.
+
+        The peer's old incarnation is gone, so any live connection is a
+        dead socket (or soon will be); mark it stale and let the writer
+        drop it before the next batch instead of waiting for the slower
+        EOF detection path.
+        """
+        address = tuple(address)
+        if address == self.address:
+            return
+        self.address = address
+        self._stale = True
 
     async def enqueue(self, message: Message) -> None:
         """Queue one frame, blocking (and counting a stall) when full."""
@@ -246,14 +264,18 @@ class PeerLink:
             # preserved — so one drain moves the whole burst.
             while not self.queue.empty():
                 batch.append(self.queue.get_nowait())
+            self.inflight = len(batch)
             try:
                 conn = self._conn
-                if conn is not None and conn.peer_closed():
-                    # The peer shut its end (it never writes on this
-                    # one-way lane, so EOF is a pure death signal).  Do
-                    # not write into the dead socket; reconnect instead.
+                if conn is not None and (self._stale or conn.peer_closed()):
+                    # Either the peer shut its end (it never writes on
+                    # this one-way lane, so EOF is a pure death signal) or
+                    # the cluster re-published a fresh address for a
+                    # restarted peer.  Do not write into the dead socket;
+                    # reconnect instead.
                     await conn.close()
                     conn = self._conn = None
+                self._stale = False
                 if conn is None:
                     conn = self._conn = await self._connect()
                 await conn.send_many(batch)
@@ -266,8 +288,22 @@ class PeerLink:
                 log.warning("peer %d send failed: %s", self.peer_id, exc)
                 self.runtime.metrics.record_send_failure()
                 self.runtime.frames_dropped += len(batch)
+                self.inflight = 0  # already accounted; a kill must not re-count
                 self._conn = None
+                # Reliability: let the router steer around the dead peer.
+                # EVENT searches re-route to the next unexamined broker and
+                # NOTIFY losses are counted; summary traffic is left to the
+                # delta fallback, which resyncs the chain on reconnect.
+                rerouted = False
+                for message in batch:
+                    if self.runtime.router.handle_send_failure(
+                        self.runtime.broker_id, self.peer_id, message
+                    ):
+                        rerouted = True
+                if rerouted:
+                    await self.runtime._pump()
             finally:
+                self.inflight = 0
                 for _ in batch:
                     self.queue.task_done()
 
@@ -501,10 +537,19 @@ class BrokerRuntime:
         return self.port
 
     def set_peers(self, addresses: Dict[int, Tuple[str, int]]) -> None:
-        """Learn where the other brokers listen (own entry ignored)."""
+        """Learn where the other brokers listen (own entry ignored).
+
+        Re-publishing an updated map also re-points any *existing* lane at
+        the new address: a broker restarted on an ephemeral port would
+        otherwise be dialled at its dead old port forever (the lazy
+        reconnect used to assume addresses never change).
+        """
         for peer, address in addresses.items():
             if peer != self.broker_id:
                 self._peer_addresses[peer] = tuple(address)
+                link = self._links.get(peer)
+                if link is not None:
+                    link.update_address(tuple(address))
 
     def install_signal_handlers(
         self, signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
@@ -560,6 +605,44 @@ class BrokerRuntime:
         self._sessions.clear()
         self.terminated.set()
         return self._snapshot_written
+
+    async def kill(self) -> None:
+        """Abrupt crash: no drain, no snapshot, sockets torn mid-frame.
+
+        The chaos harness' model of ``kill -9``: stop listening, cancel
+        the period loop and every reader/writer task where they stand (a
+        writer suspended inside ``send_many`` leaves a torn frame on the
+        wire for the peer's codec to reject), and account every frame
+        still queued or in flight as dropped so cluster-level quiesce
+        arithmetic does not wait for work that died with the process.
+        """
+        if self._shutdown_started:
+            await self.terminated.wait()
+            return
+        self._shutdown_started = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._server.wait_closed()
+        if self._period_task is not None:
+            self._period_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._period_task
+        readers = list(self._reader_tasks)
+        for task in readers:
+            task.cancel()
+        if readers:
+            await asyncio.gather(*readers, return_exceptions=True)
+        for link in list(self._links.values()):
+            # Claimed-but-unwritten frames died with the writer task; the
+            # queue backlog never even reached a socket.
+            self.frames_dropped += link.queue.qsize() + link.inflight
+            await link.close()
+        for session in list(self._sessions):
+            with contextlib.suppress(ConnectionError, OSError):
+                await session.close()
+        self._sessions.clear()
+        self.terminated.set()
 
     async def _settle_inbound(self) -> None:
         """Wait until the inbound frame counter stops moving (all frames
@@ -694,7 +777,9 @@ class BrokerRuntime:
     def _dispatch_peer(self, src: int, message: Message) -> None:
         """Same engines, same decisions as the simulator's dispatch."""
         if isinstance(message, SummaryMessage):
-            self.broker.absorb_summary(
+            # Snapshot-safe absorb: a fallback resync reply may land between
+            # periods (restarts shift who is mid-period when).
+            self.broker.absorb_summary_snapshot(
                 src, message.summary, set(message.merged_brokers)
             )
             return
@@ -708,6 +793,14 @@ class BrokerRuntime:
                 message.generation,
             )
             if not applied:
+                if self.broker.delta_summary is None:
+                    # A stale period frame flushed through a reconnected
+                    # link landed between periods (e.g. queued while the
+                    # peer was down, delivered to its new incarnation).
+                    # Drop it: the chain is now desynced on both ends, so
+                    # the next in-period delta fails the base-generation
+                    # check and runs the regular fallback resync.
+                    return
                 # Chain broke (peer restart, our restore, frame loss): ask
                 # for a full summary instead of merging a stale delta.  The
                 # request rides the outbox and is pumped with this burst.
@@ -732,7 +825,8 @@ class BrokerRuntime:
             # their state; here the period never closes for outsiders.)
             broker = self.broker
             snapshot = broker.kept_summary.copy()
-            snapshot.merge(broker.delta_summary)
+            if broker.delta_summary is not None:  # requests can land between periods
+                snapshot.merge(broker.delta_summary)
             broker.link_generations_out[src] = 0
             self.fallback_replies += 1
             self.network.send(
@@ -947,28 +1041,6 @@ class BrokerRuntime:
 # -- CLI ------------------------------------------------------------------------
 
 
-def named_topology(name: str) -> Topology:
-    """Resolve a CLI topology name.
-
-    ``cw24`` (the paper's 24-broker Cable & Wireless backbone), ``tree13``
-    (figure 7), ``line<N>``, ``star<N>``, ``scalefree<N>``.
-    """
-    if name == "cw24":
-        return cable_wireless_24()
-    if name == "tree13":
-        return paper_example_tree()
-    for prefix, factory in (
-        ("line", Topology.line),
-        ("star", Topology.star),
-        ("scalefree", scale_free_backbone),
-    ):
-        if name.startswith(prefix) and name[len(prefix):].isdigit():
-            return factory(int(name[len(prefix):]))
-    raise ValueError(
-        f"unknown topology {name!r} (try cw24, tree13, line4, star8, scalefree16)"
-    )
-
-
 def parse_peers(text: str) -> Dict[int, Tuple[str, int]]:
     """Parse ``"1=127.0.0.1:7001,2=127.0.0.1:7002"`` into an address map."""
     addresses: Dict[int, Tuple[str, int]] = {}
@@ -1046,6 +1118,11 @@ async def _serve(args: argparse.Namespace) -> None:
         snapshot_dir=args.snapshot_dir,
         host=args.host,
         paranoid=True if args.paranoid else None,
+        # Every OS process is a fresh incarnation: without an explicit
+        # epoch the process-wide counter would hand each standalone broker
+        # epoch 1, and a cold-rejoined broker would re-mint publish ids
+        # that surviving peers' dedup tables eat as duplicates.
+        epoch=allocate_epoch(args.snapshot_dir, args.broker_id),
     )
     port = await runtime.start(args.port)
     runtime.set_peers(parse_peers(args.peers))

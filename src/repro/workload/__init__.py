@@ -1,5 +1,7 @@
 """Workload generation: Table-2 synthetic model, figure-10 popularity
-probes, and a realistic stock-ticker feed."""
+probes, a realistic stock-ticker feed, and the production scenario driver
+(:mod:`repro.workload.scenarios` — named churn/spike/chaos scenarios with
+a churn-aware delivery oracle, runnable on simulator and live cluster)."""
 
 from repro.workload.config import (
     TABLE2_POPULARITIES,
@@ -21,18 +23,40 @@ from repro.workload.popularity import (
     popularity_schema,
     probe_subscription,
 )
+from repro.workload.scenarios import (
+    SCENARIOS,
+    ChaosEvent,
+    MixedSchemaWorkload,
+    ScenarioConfig,
+    ScenarioOutcome,
+    ScenarioScript,
+    build_script,
+    expected_deliveries,
+    run_scenario_sim,
+    scenario_config,
+)
 from repro.workload.stocks import DEFAULT_EXCHANGES, DEFAULT_SYMBOLS, StockWorkload
 
 __all__ = [
     "DEFAULT_EXCHANGES",
     "DEFAULT_SYMBOLS",
     "PROBE_ATTRIBUTE",
+    "SCENARIOS",
     "TABLE2_POPULARITIES",
     "TABLE2_SIGMAS",
     "TABLE2_SUBSUMPTIONS",
+    "ChaosEvent",
+    "MixedSchemaWorkload",
+    "ScenarioConfig",
+    "ScenarioOutcome",
+    "ScenarioScript",
     "StockWorkload",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "build_script",
+    "expected_deliveries",
+    "run_scenario_sim",
+    "scenario_config",
     "draw_matched_sets",
     "popularity_event",
     "popularity_schema",

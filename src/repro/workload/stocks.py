@@ -123,10 +123,18 @@ class StockWorkload:
 
     # -- events ----------------------------------------------------------------------
 
-    def tick(self) -> Event:
-        """The next trade event: one symbol's price random-walks."""
+    def tick(self, symbol: str | None = None) -> Event:
+        """The next trade event: one symbol's price random-walks.
+
+        Pass ``symbol`` to pin the traded ticker — scenario drivers use this
+        to impose a popularity skew (zipf over the symbol table) without
+        re-implementing the price walk.
+        """
         rng = self._rng
-        symbol = rng.choice(self.symbols)
+        if symbol is None:
+            symbol = rng.choice(self.symbols)
+        elif symbol not in self._state:
+            raise KeyError(f"unknown symbol {symbol!r}")
         state = self._state[symbol]
         state.price = max(0.01, state.price * (1.0 + rng.gauss(0.0, state.volatility)))
         price = round(state.price, 2)

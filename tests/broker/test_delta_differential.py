@@ -14,7 +14,7 @@ iterations) with paranoid audits on.  Equivalence claims:
 
 import os
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.broker.system import SummaryPubSub
 from repro.model import Event, parse_subscription, stock_schema
@@ -107,6 +107,10 @@ def kept_ids(system, broker_id):
 
 @given(script=churn_script)
 @settings(max_examples=25, deadline=None)
+# Two identical subscriptions, then an unsubscribe of the one that
+# propagated: the covered twin must inherit the dead coverer's remote
+# notifications (the ghost-coverer regression in SummaryBroker.deliver).
+@example(script=[([("sub", 0, 0), ("sub", 0, 0)], [("unsub", 0, 0)])])
 def test_delta_backbone_equals_full_backbone(script):
     os.environ["REPRO_PARANOID"] = "1"
     try:

@@ -1,0 +1,44 @@
+"""Epoch allocation for (re)starting brokers — the 49-bit id namespace.
+
+A cold-rejoining broker restarts its publish sequence at 0; surviving
+dedup tables remember its previous incarnation's ids, so every restart
+must mint publish ids under a *fresh* epoch (see
+:func:`repro.broker.persistence.allocate_epoch`).
+"""
+
+from repro.broker.persistence import EPOCH_FILE, allocate_epoch
+
+
+class TestStatelessFallback:
+    def test_random_draw_is_in_range_and_odd(self):
+        for _ in range(64):
+            epoch = allocate_epoch()
+            assert 1 <= epoch <= 0xFFFF
+            assert epoch & 1, "the |1 floor keeps the stateless draw nonzero"
+
+    def test_draws_are_not_constant(self):
+        assert len({allocate_epoch() for _ in range(64)}) > 1
+
+
+class TestDurableCounter:
+    def test_counter_is_monotone_across_restarts(self, tmp_path):
+        assert [allocate_epoch(tmp_path) for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_per_broker_counters_are_independent(self, tmp_path):
+        assert allocate_epoch(tmp_path, broker_id=1) == 1
+        assert allocate_epoch(tmp_path, broker_id=2) == 1
+        assert allocate_epoch(tmp_path, broker_id=1) == 2
+        assert allocate_epoch(tmp_path) == 1  # the shared counter is separate
+        assert (tmp_path / "epoch-1.counter").read_text().strip() == "2"
+        assert (tmp_path / EPOCH_FILE).read_text().strip() == "1"
+
+    def test_corrupt_counter_file_restarts_the_count(self, tmp_path):
+        path = tmp_path / EPOCH_FILE
+        allocate_epoch(tmp_path)
+        path.write_text("not-a-number")
+        assert allocate_epoch(tmp_path) == 1
+
+    def test_missing_directory_is_created(self, tmp_path):
+        nested = tmp_path / "snapshots" / "deep"
+        assert allocate_epoch(nested) == 1
+        assert (nested / EPOCH_FILE).exists()

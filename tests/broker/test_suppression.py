@@ -135,3 +135,49 @@ class TestSuppressionChurn:
         covered = broker.subscribe(parse_subscription(SCHEMA, "price < 5"))
         assert covered not in {sid for sid, _ in broker.pending}
         assert covered not in broker.kept_summary.all_ids()
+
+
+class TestGhostCoverers:
+    """Stale-coverer notifications during the churn window.
+
+    Remote summaries keep naming an unsubscribed frontier member until the
+    removal block (delta mode) or a refresh (full mode) reaches them; a
+    NOTIFY for that dead id must still fan out to the subscriptions it
+    covered at removal time, or they silently lose deliveries.  Found by
+    the delta/full differential under Hypothesis (two identical subs, then
+    an unsubscribe of the propagated one, mid-period)."""
+
+    def test_notify_for_dead_coverer_reaches_covered_sub(self):
+        deliveries = []
+        broker = SummaryBroker(
+            0, SCHEMA, suppress_covered=True,
+            on_delivery=lambda b, sid, event: deliveries.append(sid),
+        )
+        coverer = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        covered = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        assert broker.unsubscribe(coverer)
+        # A remote broker whose kept summary still holds ``coverer``
+        # notifies on it; the ghost entry must route to ``covered``.
+        confirmed = broker.deliver({coverer}, Event.of(price=3.0))
+        assert confirmed == {covered}
+        assert deliveries == [covered]
+
+    def test_ghost_expansion_is_transitive(self):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        first = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        second = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        third = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        assert broker.unsubscribe(first)   # second promotes, third re-homes
+        assert broker.unsubscribe(second)  # third promotes; second is a ghost
+        confirmed = broker.deliver({first}, Event.of(price=3.0))
+        assert confirmed == {third}
+
+    def test_ghost_of_fully_dead_cover_set_delivers_nothing(self):
+        broker = SummaryBroker(0, SCHEMA, suppress_covered=True)
+        coverer = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        covered = broker.subscribe(parse_subscription(SCHEMA, "price < 10"))
+        assert broker.unsubscribe(coverer)
+        assert broker.unsubscribe(covered)
+        confirmed = broker.deliver({coverer}, Event.of(price=3.0))
+        assert confirmed == set()
+        assert broker.false_positive_notifies > 0

@@ -18,7 +18,7 @@ class TestRunAll:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig8", "fig9", "fig10", "fig11", "sec524",
             "sensitivity", "latency", "scale", "robustness", "churn", "propbytes",
-            "federation", "traced",
+            "federation", "traced", "scenarios",
         }
 
 

@@ -1,0 +1,58 @@
+"""The scenario sweep experiment and its CI smoke CLI."""
+
+import json
+
+from repro.experiments import scenarios
+from repro.workload.scenarios import SCENARIOS
+
+
+class TestRun:
+    def test_quick_sweep_is_sim_only_and_gated(self):
+        result = scenarios.run(quick=True)
+        assert result.name == "scenarios"
+        assert len(result.rows) == len(SCENARIOS)
+        assert set(result.column("scenario")) == set(SCENARIOS)
+        assert set(result.column("substrate")) == {"sim"}
+        assert all(ratio == 1.0 for ratio in result.column("ratio"))
+        assert all(dup == 0 for dup in result.column("duplicates"))
+        assert all(pubs > 0 for pubs in result.column("publishes"))
+
+
+class TestCli:
+    def test_sim_smoke_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = scenarios.main(
+            [
+                "--scenario", "churn_storm",
+                "--substrate", "sim",
+                "--report-out", str(report_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "churn_storm" in output and "ok" in output
+        (report,) = json.loads(report_path.read_text())
+        assert report["scenario"] == "churn_storm"
+        assert report["substrate"] == "sim"
+        assert report["delivery_ratio"] == 1.0
+        assert report["duplicates"] == 0
+        assert report["gate_failures"] == []
+
+    def test_failover_live_smoke(self, tmp_path):
+        """The CI scenario-smoke job's second leg: the kill/restart drill
+        on the live cluster, gated at ≥ 0.99 with zero duplicates."""
+        report_path = tmp_path / "failover.json"
+        code = scenarios.main(
+            [
+                "--scenario", "failover",
+                "--substrate", "live",
+                "--report-out", str(report_path),
+            ]
+        )
+        assert code == 0
+        (report,) = json.loads(report_path.read_text())
+        assert report["delivery_ratio"] >= 0.99
+        assert report["duplicates"] == 0
+        assert report["metrics"]["fallback_requests"] > 0
+        enqueued, processed = report["frames_balance"]
+        assert enqueued == processed

@@ -1,0 +1,247 @@
+"""Scenario compiler, named registry, oracle semantics, mixed workload."""
+
+import math
+
+import pytest
+
+from repro.workload.scenarios import (
+    ChaosEvent,
+    MixedSchemaWorkload,
+    SCENARIOS,
+    ScenarioConfig,
+    build_script,
+    expected_deliveries,
+    mixed_schema,
+    run_scenario_sim,
+    scenario_config,
+)
+
+
+class TestConfig:
+    def test_registry_names(self):
+        assert set(SCENARIOS) == {
+            "flash_crowd",
+            "churn_storm",
+            "diurnal",
+            "hot_topics",
+            "multi_schema",
+            "failover",
+        }
+
+    def test_unknown_scenario_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_config("flash_mob")
+
+    def test_overrides_accept_mapping_mix(self):
+        config = scenario_config(
+            "churn_storm", mix={"publish": 0.9, "subscribe": 0.1}
+        )
+        assert config.mix_weights() == {
+            "publish": 0.9,
+            "subscribe": 0.1,
+            "unsubscribe": 0.0,
+        }
+
+    def test_spike_profile_boosts_the_middle_third(self):
+        config = ScenarioConfig(
+            name="x", steps=6, load_profile="spike", spike_factor=4.0
+        )
+        factors = [config.load_factor(step) for step in range(6)]
+        assert factors == [1.0, 1.0, 4.0, 4.0, 1.0, 1.0]
+
+    def test_diurnal_profile_is_a_half_sine_day(self):
+        config = ScenarioConfig(name="x", steps=8, load_profile="diurnal")
+        factors = [config.load_factor(step) for step in range(8)]
+        assert factors == pytest.approx(
+            [0.25 + 0.75 * math.sin(math.pi * (s + 0.5) / 8) for s in range(8)]
+        )
+        # Dawn and dusk are quiet, midday is the peak.
+        assert factors[0] < factors[3] and factors[7] < factors[4]
+        assert all(f >= 0.25 for f in factors)
+
+
+class TestBuildScript:
+    def test_compilation_is_deterministic(self):
+        config = scenario_config("churn_storm")
+        first, second = build_script(config), build_script(config)
+        assert [p.event for p in first.pubs] == [p.event for p in second.pubs]
+        assert [p.broker for p in first.pubs] == [p.broker for p in second.pubs]
+        assert len(first.subs) == len(second.subs)
+        for serial, record in first.subs.items():
+            twin = second.subs[serial]
+            assert (record.broker, record.step, record.unsub_step) == (
+                twin.broker,
+                twin.step,
+                twin.unsub_step,
+            )
+        assert first.windows == second.windows
+
+    def test_different_seed_different_stream(self):
+        base = scenario_config("churn_storm")
+        other = base.with_overrides(seed=99)
+        assert [p.event for p in build_script(base).pubs] != [
+            p.event for p in build_script(other).pubs
+        ]
+
+    def test_step_zero_bootstraps_initial_population(self):
+        config = scenario_config("churn_storm")
+        script = build_script(config)
+        bootstrap = [
+            op
+            for op in script.steps[0].churn
+            if script.subs[op.serial].step == 0
+        ]
+        assert len(bootstrap) >= config.initial_subscriptions * len(
+            script.topology.brokers
+        )
+
+    def test_publishes_are_rehomed_off_dead_brokers(self):
+        script = build_script(scenario_config("failover"))
+        for pub in script.pubs:
+            assert script.broker_alive(pub.broker, pub.step), (
+                f"publish {pub.serial} targets dead broker {pub.broker} "
+                f"at step {pub.step}"
+            )
+
+
+class TestChaosValidation:
+    BASE = ScenarioConfig(name="x", topology="line3", steps=4)
+
+    def kill(self, step, broker, **kw):
+        return ChaosEvent(step=step, action="kill", broker=broker, **kw)
+
+    def test_step_zero_is_reserved_for_bootstrap(self):
+        config = self.BASE.with_overrides(chaos=(self.kill(0, 1),))
+        with pytest.raises(ValueError, match=r"outside \[1, 4\)"):
+            build_script(config)
+
+    def test_killing_a_dead_broker_rejected(self):
+        config = self.BASE.with_overrides(
+            chaos=(self.kill(1, 1), self.kill(2, 1))
+        )
+        with pytest.raises(ValueError, match="already dead"):
+            build_script(config)
+
+    def test_restart_requires_a_prior_kill(self):
+        config = self.BASE.with_overrides(
+            chaos=(ChaosEvent(step=2, action="restart", broker=1),)
+        )
+        with pytest.raises(ValueError, match="without a prior kill"):
+            build_script(config)
+
+    def test_restore_requires_a_snapshot(self):
+        config = self.BASE.with_overrides(
+            chaos=(
+                self.kill(1, 1),
+                ChaosEvent(step=2, action="restart", broker=1, restore=True),
+            )
+        )
+        with pytest.raises(ValueError, match="requires snapshot=True"):
+            build_script(config)
+
+    def test_flap_requires_a_topology_edge(self):
+        config = self.BASE.with_overrides(
+            chaos=(ChaosEvent(step=1, action="flap", broker=0, peer=2),)
+        )
+        with pytest.raises(ValueError, match="needs a topology edge"):
+            build_script(config)
+
+
+class TestOracle:
+    def windows_script(self, chaos):
+        config = ScenarioConfig(
+            name="x",
+            topology="line3",
+            steps=5,
+            target_qps=6.0,
+            chaos=tuple(chaos),
+        )
+        return build_script(config)
+
+    def test_warm_restart_suspends_for_the_dead_window_only(self):
+        script = self.windows_script(
+            [
+                ChaosEvent(step=2, action="kill", broker=1, snapshot=True),
+                ChaosEvent(step=3, action="restart", broker=1, restore=True),
+            ]
+        )
+        victims = [r for r in script.subs.values() if r.broker == 1 and r.step < 2
+                   and r.unsub_step is None and not r.skipped]
+        assert victims, "scenario produced no step-0 subscription at broker 1"
+        record = victims[0]
+        assert script.live_for(record, 1, honor_chaos=True)
+        assert not script.live_for(record, 2, honor_chaos=True)  # dead window
+        assert script.live_for(record, 3, honor_chaos=True)  # warm rejoin
+        assert script.live_for(record, 2, honor_chaos=False)  # no-fault twin
+
+    def test_cold_kill_truncates_forever(self):
+        script = self.windows_script(
+            [
+                ChaosEvent(step=2, action="kill", broker=1),
+                ChaosEvent(step=3, action="restart", broker=1),
+            ]
+        )
+        victims = [r for r in script.subs.values() if r.broker == 1 and r.step < 2
+                   and r.unsub_step is None and not r.skipped]
+        assert victims
+        record = victims[0]
+        assert script.live_for(record, 1, honor_chaos=True)
+        assert not script.live_for(record, 3, honor_chaos=True)  # lost with the state
+        assert not script.live_for(record, 4, honor_chaos=True)
+
+    def test_chaos_oracle_is_a_subset_of_the_no_fault_oracle(self):
+        script = build_script(scenario_config("failover"))
+        chaos_aware = expected_deliveries(script, honor_chaos=True)
+        no_fault = expected_deliveries(script, honor_chaos=False)
+        assert chaos_aware <= no_fault
+
+
+class TestSimulatorRuns:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_named_scenario_is_exact_on_the_simulator(self, name):
+        # Keep the grid fast; the failover chaos schedule needs steps ≥ 5.
+        outcome = run_scenario_sim(scenario_config(name, steps=5, target_qps=12.0))
+        assert outcome.substrate == "sim"
+        assert outcome.delivery_ratio == 1.0
+        assert outcome.duplicates == 0
+        assert not outcome.extras
+        assert outcome.publishes > 0
+
+
+class TestMixedSchemaWorkload:
+    def test_families_are_isolated_by_attribute_sets(self):
+        """A news subscription constrains attributes a stock tick never
+        carries — cross-family matches are impossible by construction."""
+        workload = MixedSchemaWorkload(seed=3)
+        events = [workload.tick() for _ in range(200)]
+        subs = [workload.subscription() for _ in range(100)]
+
+        def family(names):
+            if "symbol" in names or "price" in names or "volume" in names:
+                return "stocks"
+            if "device" in names or "sensor" in names or "temperature" in names:
+                return "iot"
+            return "news"
+
+        for sub in subs:
+            sub_family = family({c.name for c in sub.constraints})
+            for event in events:
+                if sub.matches(event):
+                    assert family(set(event.names)) == sub_family
+
+    def test_events_are_unique(self):
+        workload = MixedSchemaWorkload(seed=7)
+        events = [workload.tick() for _ in range(300)]
+        assert len(set(events)) == len(events)
+
+    def test_tick_pins_the_stock_family(self):
+        workload = MixedSchemaWorkload(seed=7)
+        symbol = workload.symbols[0]
+        event = workload.tick(symbol)
+        names = set(event.names)
+        assert "symbol" in names and "price" in names
+        assert "topic" not in names and "device" not in names
+
+    def test_schema_covers_all_families(self):
+        names = set(mixed_schema().names)
+        assert {"symbol", "price", "device", "temperature", "topic", "urgency"} <= names
