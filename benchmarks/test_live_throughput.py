@@ -90,15 +90,17 @@ def soak_gc():
         gc.collect()
 
 
-@pytest.mark.slow
-def test_soak_10k_publishes_4_brokers():
-    seed = int(os.environ.get("REPRO_FAULT_SEED", "42"))
+def run_soak(seed: int, tracer: Tracer, *, shards=None):
+    """The windowed-producer soak body, shared by the single-process and
+    sharded variants; returns ``(elapsed, notified, metrics, dropped,
+    shard_batches)``."""
     topology = Topology.line(4)
     workload = StockWorkload(seed=seed)
-    tracer = Tracer()
 
     async def soak():
-        cluster = LocalCluster(topology, workload.schema, tracer=tracer)
+        cluster = LocalCluster(
+            topology, workload.schema, tracer=tracer, shards=shards
+        )
         await cluster.start()
         try:
             for broker_id in topology.brokers:
@@ -139,15 +141,23 @@ def test_soak_10k_publishes_4_brokers():
             notified = sum(len(s.deliveries) for s in cluster._subscribers)
             metrics = cluster.metrics()
             dropped = sum(r.frames_dropped for r in cluster.runtimes.values())
-            return elapsed, notified, metrics, dropped
+            shard_batches = sum(
+                sum(handle.batches for handle in runtime._pool.handles)
+                for runtime in cluster.runtimes.values()
+                if hasattr(runtime, "_pool")
+            )
+            return elapsed, notified, metrics, dropped, shard_batches
         finally:
             await cluster.stop(drain=False)
 
     async def with_deadline():
         return await asyncio.wait_for(soak(), SOAK_TIMEOUT)
 
-    elapsed, notified, metrics, dropped = asyncio.run(with_deadline())
+    return asyncio.run(with_deadline())
 
+
+def pipeline_latencies_ms(tracer: Tracer):
+    """publish->notify latencies from the shared tracer, validated."""
     publish_starts = {
         span.trace_id: span.t_us for span in tracer.spans_of("publish")
     }
@@ -158,10 +168,19 @@ def test_soak_10k_publishes_4_brokers():
     ), "orphan notify: no matching publish span"
     # One notify record per (broker, event); ``notified`` counts per-sid
     # hand-offs, so it is at least as large.
-    latencies_ms = sorted(
+    return sorted(
         (record.t_us - publish_starts[record.trace_id]) / 1000.0
         for record in notify_records
     )
+
+
+@pytest.mark.slow
+def test_soak_10k_publishes_4_brokers():
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "42"))
+    tracer = Tracer()
+    elapsed, notified, metrics, dropped, _ = run_soak(seed, tracer)
+
+    latencies_ms = pipeline_latencies_ms(tracer)
     assert notified >= len(latencies_ms) > 0, "soak matched nothing"
     assert latencies_ms[0] >= 0.0
     assert dropped == 0, "live soak dropped frames"
@@ -170,7 +189,7 @@ def test_soak_10k_publishes_4_brokers():
     p50 = percentile(latencies_ms, 0.50)
     p99 = percentile(latencies_ms, 0.99)
     print(
-        f"\nlive soak: {EVENTS} publishes over {topology.num_brokers} brokers "
+        f"\nlive soak: {EVENTS} publishes over 4 brokers "
         f"in {elapsed:.2f}s = {throughput:,.0f} events/sec; "
         f"{notified} notifications; publish->notify latency "
         f"p50={p50:.3f}ms p99={p99:.3f}ms; "
@@ -210,6 +229,109 @@ def test_soak_10k_publishes_4_brokers():
     # Written only after the gate passes so a failing run leaves the
     # committed baseline intact for the re-run.
     BENCH_PATH.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    trace_out = os.environ.get("REPRO_TRACE_OUT")
+    if trace_out:
+        tracer.export_jsonl(trace_out)
+
+
+#: Workers per broker in the sharded soak.  The multiplier assertion below
+#: only makes sense when the host actually has cores for them.
+SHARDS = 4 if (os.cpu_count() or 1) >= 4 else 2
+SHARDED_BENCH_PATH = Path(__file__).parent / "BENCH_live_sharded.json"
+#: On a >=4-core host the 4-worker soak must beat the committed
+#: single-process baseline by this much and clear the absolute target.
+SHARDED_SPEEDUP = 3.0
+SHARDED_TARGET_EVPS = 20_000
+SHARDED_P99_MS = 10.0
+
+
+@pytest.mark.slow
+def test_sharded_soak():
+    """The multicore acceptance soak: the same 10k-publish workload with
+    every broker running as :class:`ShardedBrokerRuntime`.
+
+    Two gates:
+
+    * **Portable** (always on): zero dropped frames, matching actually
+      fanned to workers, and throughput within ``REGRESSION_FLOOR`` of the
+      committed ``BENCH_live_sharded.json`` baseline.
+    * **Hardware-gated** (>=4 cores only): throughput at least
+      ``SHARDED_SPEEDUP`` x the committed single-process ``BENCH_live.json``
+      baseline, above ``SHARDED_TARGET_EVPS``, with p99 under
+      ``SHARDED_P99_MS``.  On fewer cores the workers time-slice one CPU —
+      the run still proves correctness and freedom from drops/deadlock,
+      and commits the honest number for that hardware.
+    """
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "42"))
+    tracer = Tracer()
+    elapsed, notified, metrics, dropped, shard_batches = run_soak(
+        seed, tracer, shards=SHARDS
+    )
+
+    latencies_ms = pipeline_latencies_ms(tracer)
+    assert notified >= len(latencies_ms) > 0, "sharded soak matched nothing"
+    assert latencies_ms[0] >= 0.0
+    assert dropped == 0, "sharded soak dropped frames"
+    assert shard_batches > 0, "no batch ever reached a shard worker"
+
+    throughput = EVENTS / elapsed
+    p50 = percentile(latencies_ms, 0.50)
+    p99 = percentile(latencies_ms, 0.99)
+    cores = os.cpu_count() or 1
+    print(
+        f"\nsharded soak: {EVENTS} publishes over 4 brokers x {SHARDS} "
+        f"shards ({cores} cores) in {elapsed:.2f}s = {throughput:,.0f} "
+        f"events/sec; {notified} notifications; {shard_batches} worker "
+        f"batches; publish->notify latency p50={p50:.3f}ms p99={p99:.3f}ms; "
+        f"{metrics.backpressure_stalls} backpressure stalls"
+    )
+
+    result = {
+        "benchmark": "live_soak_sharded_4_broker_line",
+        "events": EVENTS,
+        "chunk": CHUNK,
+        "window": WINDOW,
+        "subs_per_broker": SUBS_PER_BROKER,
+        "shards": SHARDS,
+        "cpu_count": cores,
+        "seed": seed,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_evps": round(throughput, 1),
+        "p50_ms": round(p50, 3),
+        "p99_ms": round(p99, 3),
+        "notifications": notified,
+        "shard_batches": shard_batches,
+        "backpressure_stalls": metrics.backpressure_stalls,
+    }
+    assert throughput > 100, f"implausibly slow: {throughput:.0f} ev/s"
+
+    baseline = None
+    if SHARDED_BENCH_PATH.exists():
+        baseline = json.loads(SHARDED_BENCH_PATH.read_text(encoding="utf-8"))
+    if baseline is not None and "throughput_evps" in baseline:
+        floor = REGRESSION_FLOOR * float(baseline["throughput_evps"])
+        assert throughput >= floor, (
+            f"sharded throughput regression: {throughput:,.0f} ev/s is below "
+            f"{REGRESSION_FLOOR:.0%} of the committed baseline "
+            f"{baseline['throughput_evps']:,.0f} ev/s (floor {floor:,.0f}); "
+            f"if the drop is intentional, re-run and commit "
+            f"benchmarks/BENCH_live_sharded.json"
+        )
+
+    if cores >= 4 and BENCH_PATH.exists():
+        single = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        required = SHARDED_SPEEDUP * float(single["throughput_evps"])
+        assert throughput >= required, (
+            f"multicore soak: {throughput:,.0f} ev/s < {SHARDED_SPEEDUP}x "
+            f"the single-process baseline {single['throughput_evps']:,.0f}"
+        )
+        assert throughput >= SHARDED_TARGET_EVPS
+        assert p99 < SHARDED_P99_MS, f"p99 {p99:.3f}ms over budget"
+
+    SHARDED_BENCH_PATH.write_text(
         json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 

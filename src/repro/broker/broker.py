@@ -105,6 +105,20 @@ class SummaryBroker:
         #: acts once per period).  Unsubscribes consult it to decide whether
         #: a removal can still ride the current period or must wait.
         self.period_acted = False
+        #: The pending sids folded into the in-flight period's delta at
+        #: ``begin_period``.  ``finish_period`` retires exactly these from
+        #: ``pending``: ids that arrive *mid-period* — a late subscribe, or
+        #: an orphan promoted by ``_frontier_remove`` when its coverer
+        #: unsubscribes — were never summarized into any frame and must
+        #: stay pending for the next period, or remote brokers would never
+        #: learn them.
+        self._period_folded: Set[SubscriptionId] = set()
+        #: True while a ``begin_period``-built delta is in flight — i.e. the
+        #: delta already contains everything that was pending at period
+        #: start.  The live runtime folds pending at *act* time instead
+        #: (``BrokerRuntime.period_act``) and leaves this False, so
+        #: mid-period frontier promotions know which regime they are in.
+        self._delta_prefolded = False
 
         # -- incremental (delta-mode) propagation state --
         #: Own ids unsubscribed after they were propagated; they ship as the
@@ -243,6 +257,8 @@ class SummaryBroker:
         delta = BrokerSummary(self.schema, self.precision)
         for sid, subscription in self.pending:
             delta.add(subscription, sid)
+        self._period_folded = {sid for sid, _ in self.pending}
+        self._delta_prefolded = True
         self.delta_summary = delta
         self.delta_brokers = {self.broker_id}
         self.contacted = set()
@@ -333,7 +349,15 @@ class SummaryBroker:
         self.delta_summary = None
         self.delta_brokers = set()
         self.delta_removed = set()
-        self.pending = []
+        # Retire only what this period's delta actually carried: ids that
+        # arrived after ``begin_period`` (mid-period subscribes, orphans
+        # promoted by a coverer's unsubscribe) still await propagation.
+        self.pending = [
+            (sid, sub) for sid, sub in self.pending
+            if sid not in self._period_folded
+        ]
+        self._period_folded = set()
+        self._delta_prefolded = False
         self.period_acted = False
 
     def rebuild_own_summary(self) -> BrokerSummary:
@@ -439,6 +463,20 @@ class SummaryBroker:
             self._frontier.add(orphan, subscription)
             self.kept_summary.add(subscription, orphan)
             self.pending.append((orphan, subscription))
+            if (
+                self._delta_prefolded
+                and self.delta_summary is not None
+                and not self.period_acted
+            ):
+                # The in-flight delta was built from ``pending`` at
+                # ``begin_period`` and has not been sent yet.  Without
+                # suppression this id would have been pending then and
+                # ridden this very frame — promoting it only into
+                # ``pending`` would delay its propagation a full period
+                # behind its coverer's removal, leaving a window where no
+                # remote summary routes events to this broker at all.
+                self.delta_summary.add(subscription, orphan)
+                self._period_folded.add(orphan)
 
     def _rebuild_suppression(self) -> None:
         """Recompute the frontier and cover maps from the store (refresh

@@ -147,14 +147,23 @@ DEFAULT_MATCH_CACHE = 512
 DEFAULT_MAX_SUBSCRIPTIONS = 1 << 20
 
 
+#: One warning per process when ``REPRO_UVLOOP`` asks for a loop we cannot
+#: provide: the hook is called per runtime (a LocalCluster builds dozens),
+#: and repeating the same fallback warning for each would bury real logs.
+_uvloop_warned = False
+
+
 def maybe_enable_uvloop() -> bool:
     """Install uvloop's event-loop policy when ``REPRO_UVLOOP`` is truthy.
 
     Opt-in (and dependency-optional) by design: the stdlib loop is the
     portable default, but on CPython + Linux uvloop's libuv reactor cuts
     per-syscall overhead on exactly the read/write path the batched
-    runtime hammers.  Returns True when uvloop is now the policy.
+    runtime hammers.  Install it with the ``repro[uvloop]`` extra; when it
+    is absent the hook degrades gracefully — warn once, fall back to the
+    stdlib loop.  Returns True when uvloop is now the policy.
     """
+    global _uvloop_warned
     if os.environ.get("REPRO_UVLOOP", "").strip().lower() not in (
         "1", "true", "yes", "on",
     ):
@@ -162,8 +171,13 @@ def maybe_enable_uvloop() -> bool:
     try:
         import uvloop  # type: ignore[import-not-found]
     except ImportError:
-        log.warning("REPRO_UVLOOP is set but uvloop is not installed; "
-                    "falling back to the stdlib event loop")
+        if not _uvloop_warned:
+            _uvloop_warned = True
+            log.warning(
+                "REPRO_UVLOOP is set but uvloop is not installed "
+                "(pip install 'repro[uvloop]'); falling back to the stdlib "
+                "event loop"
+            )
         return False
     uvloop.install()
     log.info("uvloop event-loop policy installed (REPRO_UVLOOP)")
@@ -762,8 +776,7 @@ class BrokerRuntime:
                         (m.event, m.brocli, m.publish_id)
                         for m in burst[index:end]
                     ]
-                    self.metrics.record_match_batch(len(items))
-                    self.router.process_batch(self.broker, items)
+                    await self._process_burst(items)
                     index = end
                 else:
                     self._dispatch_peer(peer_id, message)
@@ -882,11 +895,33 @@ class BrokerRuntime:
         summary check; forwards ride the pump."""
         for event in events:
             self.schema.validate_event(event)
-        self.metrics.record_match_batch(len(events))
-        self.router.publish_batch(self.broker_id, events)
+        await self._publish_events(events)
         if self.auditor is not None:
             self.auditor.audit_dedup(self._audit_scope)
         await self._pump()
+
+    # -- data-plane seams (overridden by ShardedBrokerRuntime) -----------------
+
+    async def _process_burst(
+        self, items: List[Tuple[Event, FrozenSet[int], int]]
+    ) -> None:
+        """Run Algorithm 3 over one contiguous EVENT run from a peer.
+
+        The single-process hot path dispatches inline; the sharded runtime
+        overrides this to fan step 1 (the summary match) out to worker
+        processes.  Awaiting here never reorders frames of one connection
+        — `_serve_peer` finishes the whole burst before its next recv —
+        but frames of *other* connections may interleave at the await,
+        which is a serialization a frame-at-a-time loop could also have
+        produced.
+        """
+        self.metrics.record_match_batch(len(items))
+        self.router.process_batch(self.broker, items)
+
+    async def _publish_events(self, events: List[Event]) -> None:
+        """Mint ids and run the ingress hop for one validated PUB burst."""
+        self.metrics.record_match_batch(len(events))
+        self.router.publish_batch(self.broker_id, events)
 
     async def _handle_client_frame(self, session: ClientSession, message: Message) -> None:
         if isinstance(message, EventMessage):
@@ -1088,6 +1123,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="max frames per inbound dispatch batch")
     parser.add_argument("--paranoid", action="store_true",
                         help="run the summary auditor after every period")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker processes for the match hot path "
+                             "(1 = single-process; N > 1 boots the sharded "
+                             "runtime, one CompiledMatcher per worker)")
     return parser
 
 
@@ -1105,7 +1144,14 @@ def warn_reference_matcher(prog: str) -> None:
 
 
 async def _serve(args: argparse.Namespace) -> None:
-    runtime = BrokerRuntime(
+    if args.shards > 1:
+        # Deferred import: sharded builds on this module.
+        from repro.runtime.sharded import ShardedBrokerRuntime
+
+        runtime_cls, extra = ShardedBrokerRuntime, {"shards": args.shards}
+    else:
+        runtime_cls, extra = BrokerRuntime, {}
+    runtime = runtime_cls(
         args.broker_id,
         named_topology(args.topology),
         stock_schema(),
@@ -1123,6 +1169,7 @@ async def _serve(args: argparse.Namespace) -> None:
         # epoch 1, and a cold-rejoined broker would re-mint publish ids
         # that surviving peers' dedup tables eat as duplicates.
         epoch=allocate_epoch(args.snapshot_dir, args.broker_id),
+        **extra,
     )
     port = await runtime.start(args.port)
     runtime.set_peers(parse_peers(args.peers))

@@ -1,0 +1,100 @@
+"""Acceptor ↔ shard-worker frames for the multicore broker runtime.
+
+A :class:`~repro.runtime.sharded.ShardedBrokerRuntime` keeps the whole
+control plane (SUBSCRIBE/SUMMARY/SUMMARY_DELTA, periods, snapshots, the
+SIGTERM drain) in the acceptor process and fans only Algorithm 3's step 1
+— the kept-summary match — out to worker processes.  These frames are the
+complete protocol spoken over each worker's :class:`multiprocessing.Pipe`;
+they travel pickled (same-host, same-interpreter trust domain), *not*
+through :class:`~repro.wire.codec.MessageCodec` — no byte accounting
+applies, they never cross a network link.
+
+Ordering is the correctness mechanism: a pipe is FIFO, so a
+:class:`SnapshotFrame` sent before a :class:`MatchRequest` is always
+applied before it.  The acceptor broadcasts a fresh snapshot whenever the
+kept summary's ``(object, generation)`` moved since the last broadcast and
+stamps every request with the fence token of the snapshot it expects; a
+worker whose installed token disagrees answers with ``matched=None``
+instead of silently matching stale state (see
+``docs/architecture.md`` §9 for the invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.model.events import Event
+from repro.model.ids import SubscriptionId
+
+__all__ = [
+    "MatchReply",
+    "MatchRequest",
+    "SnapshotFrame",
+    "StopFrame",
+    "WorkerReady",
+]
+
+
+@dataclass(frozen=True)
+class WorkerReady:
+    """First frame on every worker pipe: the spawn completed, imports are
+    paid for, the worker's recv loop is live.  ``pid`` lets the acceptor
+    report per-shard process ids in metrics and error messages."""
+
+    shard: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class SnapshotFrame:
+    """A read-only kept-summary snapshot for the worker to compile.
+
+    ``payload`` is the pickled :class:`~repro.summary.summary.BrokerSummary`
+    — pickled eagerly by the acceptor *before* the frame is handed to the
+    send thread, so a concurrent summary mutation on the acceptor's event
+    loop can never tear the bytes.  ``fence`` is the monotone per-runtime
+    snapshot serial used to fence match requests; it deliberately is NOT
+    the summary generation (``reset_merged_state`` swaps the summary object
+    and restarts generations, which could collide)."""
+
+    fence: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """Match a sub-burst against the snapshot installed under ``fence``.
+
+    ``events`` preserves the acceptor's arrival order for this shard;
+    ``request_id`` correlates the reply (replies are FIFO per pipe, the id
+    is a cross-check, not a reordering mechanism)."""
+
+    request_id: int
+    fence: int
+    events: Tuple[Event, ...]
+
+
+@dataclass(frozen=True)
+class MatchReply:
+    """Worker answer to one :class:`MatchRequest`.
+
+    ``matched[i]`` is the id set for ``events[i]``.  ``matched=None``
+    signals a fence violation: the worker's installed snapshot token
+    differs from the request's (or no snapshot arrived yet) — the acceptor
+    treats that as a protocol error, never as an empty match."""
+
+    request_id: int
+    shard: int
+    fence: int
+    matched: Optional[Tuple[FrozenSet[SubscriptionId], ...]]
+    #: Events matched by this worker since spawn (cumulative, for the
+    #: acceptor's per-shard gauges — piggybacked so metrics need no extra
+    #: round trip).
+    events_matched: int = 0
+
+
+@dataclass(frozen=True)
+class StopFrame:
+    """Graceful shutdown: the worker drains nothing further, replies to
+    nothing, and exits its loop (process join follows)."""

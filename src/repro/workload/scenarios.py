@@ -81,6 +81,7 @@ __all__ = [
     "ScenarioScript",
     "SubRecord",
     "build_script",
+    "chaos_schedules",
     "expected_deliveries",
     "run_scenario_sim",
     "scenario_config",
@@ -724,6 +725,112 @@ def run_scenario_sim(config: ScenarioConfig) -> ScenarioOutcome:
             "events_examined": sum(b.events_examined for b in system.brokers.values()),
         },
     )
+
+
+# -- randomized chaos schedules -------------------------------------------------
+
+
+def chaos_schedules(
+    topology_name: str = "line5",
+    steps: int = 6,
+    max_cycles: int = 2,
+    max_flaps: int = 2,
+):
+    """A Hypothesis strategy drawing *valid* chaos schedules.
+
+    Draws are correct by construction — ``restore`` only when the kill
+    snapshotted, flaps only on real topology edges between endpoints alive
+    at the flap step — and every draw is still pushed through
+    :func:`_compile_windows` as a safety net (a residual invalid draw is
+    rejected with ``assume``, never returned).
+
+    Kill/restart windows are *closed* (every kill gets a restart) and
+    *pairwise disjoint* (at most one broker dead at any step): that is the
+    single-failure regime the live delivery gate is defined for.  Wider
+    havoc — overlapping dead windows, permanent kills — partitions the
+    overlay in ways the churn-aware oracle deliberately does not model
+    (interest born on the far side of a partition cannot propagate until
+    it heals); such schedules stay expressible by hand and are exercised
+    by the sim-exact suite, which executes any compilable script.
+
+    Returns a strategy over ``Tuple[ChaosEvent, ...]`` suitable for
+    ``ScenarioConfig.with_overrides(chaos=...)``.  Hypothesis is imported
+    lazily so this module stays importable in production environments
+    without test dependencies.
+    """
+    from hypothesis import assume, strategies as st
+
+    topology = named_topology(topology_name)
+    brokers = sorted(topology.brokers)
+    edges = sorted(
+        (min(a, b), max(a, b)) for a, b in topology.graph.edges
+    )
+    # Each cycle consumes two distinct steps in [1, steps), so the step
+    # budget bounds how many disjoint windows can exist at all.
+    cycle_cap = min(max_cycles, len(brokers), (steps - 1) // 2)
+
+    @st.composite
+    def schedules(draw):
+        events: List[ChaosEvent] = []
+        windows: Dict[int, Tuple[int, float]] = {}
+        cycles = draw(st.integers(0, cycle_cap))
+        if cycles:
+            bounds = sorted(
+                draw(
+                    st.lists(
+                        st.integers(1, steps - 1),
+                        min_size=2 * cycles, max_size=2 * cycles, unique=True,
+                    )
+                )
+            )
+            targets = draw(
+                st.lists(
+                    st.sampled_from(brokers),
+                    min_size=cycles, max_size=cycles, unique=True,
+                )
+            )
+            for index, broker in enumerate(targets):
+                kill_step, restart_step = bounds[2 * index], bounds[2 * index + 1]
+                snapshot = draw(st.booleans())
+                restore = snapshot and draw(st.booleans())
+                events.append(
+                    ChaosEvent(
+                        step=kill_step, action="kill", broker=broker,
+                        snapshot=snapshot,
+                    )
+                )
+                events.append(
+                    ChaosEvent(
+                        step=restart_step, action="restart", broker=broker,
+                        restore=restore,
+                    )
+                )
+                windows[broker] = (kill_step, restart_step)
+
+        def alive_at(broker: int, step: int) -> bool:
+            window = windows.get(broker)
+            return window is None or not (window[0] <= step < window[1])
+
+        for _ in range(draw(st.integers(0, max_flaps))):
+            a, b = draw(st.sampled_from(edges))
+            step = draw(st.integers(1, steps - 1))
+            if alive_at(a, step) and alive_at(b, step):
+                events.append(
+                    ChaosEvent(step=step, action="flap", broker=a, peer=b)
+                )
+
+        schedule = tuple(sorted(events, key=lambda e: (e.step, e.action, e.broker)))
+        probe = ScenarioConfig(
+            name="chaos_probe", topology=topology_name, steps=steps,
+            chaos=schedule,
+        )
+        try:
+            _compile_windows(probe, topology)
+        except ValueError:
+            assume(False)
+        return schedule
+
+    return schedules()
 
 
 # -- the named registry ---------------------------------------------------------

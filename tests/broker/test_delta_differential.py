@@ -111,6 +111,17 @@ def kept_ids(system, broker_id):
 # propagated: the covered twin must inherit the dead coverer's remote
 # notifications (the ghost-coverer regression in SummaryBroker.deliver).
 @example(script=[([("sub", 0, 0), ("sub", 0, 0)], [("unsub", 0, 0)])])
+# Same twins, but run one more (empty) period: the orphan promoted by the
+# mid-period unsubscribe entered ``pending`` after ``begin_period`` folded
+# it, so ``finish_period`` must not retire it — a wholesale ``pending``
+# clear strands the twin locally while the coverer's removal propagates,
+# leaving no remote summary that routes events to its broker at all.
+@example(script=[([("sub", 0, 0), ("sub", 0, 0)], [("unsub", 0, 0)]), ([], [])])
+# Twins at a broker whose coverer unsubscribes mid-period *before* that
+# broker acts: the scrub empties the in-flight delta, so the promoted twin
+# must join it (it would have been pending at begin_period without
+# suppression) — both delta AND full mode lost the subscription here.
+@example(script=[([("sub", 1, 0), ("sub", 1, 0)], [("unsub", 0, 0)])])
 def test_delta_backbone_equals_full_backbone(script):
     os.environ["REPRO_PARANOID"] = "1"
     try:

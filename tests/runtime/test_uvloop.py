@@ -1,0 +1,81 @@
+"""``REPRO_UVLOOP`` graceful degradation, both branches.
+
+uvloop is an *optional* extra (``pip install 'repro[uvloop]'``): the hook
+must be a no-op when unrequested, install the policy when requested and
+importable, and degrade to the stdlib loop — warning exactly once per
+process, not once per runtime — when requested but absent.  The absent
+branch is forced by poisoning ``sys.modules`` so the test holds even on
+machines that do have uvloop installed; the present branch injects a fake
+module, so neither branch needs the real dependency.
+"""
+
+import logging
+import sys
+import types
+
+import pytest
+
+from repro.runtime import server
+
+
+@pytest.fixture(autouse=True)
+def fresh_warn_state(monkeypatch):
+    """Each test sees a process that has not warned yet."""
+    monkeypatch.setattr(server, "_uvloop_warned", False)
+
+
+class TestMaybeEnableUvloop:
+    @pytest.mark.parametrize("value", [None, "", "0", "false", "off"])
+    def test_disabled_without_opt_in(self, monkeypatch, value):
+        if value is None:
+            monkeypatch.delenv("REPRO_UVLOOP", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_UVLOOP", value)
+        # Poison the import so an accidental attempt would be loud.
+        monkeypatch.setitem(sys.modules, "uvloop", None)
+        assert server.maybe_enable_uvloop() is False
+
+    def test_absent_warns_once_and_falls_back(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_UVLOOP", "1")
+        monkeypatch.setitem(sys.modules, "uvloop", None)  # import -> ImportError
+        with caplog.at_level(logging.WARNING, logger="repro.runtime"):
+            assert server.maybe_enable_uvloop() is False
+            assert server.maybe_enable_uvloop() is False
+        warnings = [
+            record for record in caplog.records
+            if "uvloop is not installed" in record.message
+        ]
+        assert len(warnings) == 1, "fallback must warn exactly once per process"
+        assert "repro[uvloop]" in warnings[0].message
+
+    def test_present_installs_the_policy(self, monkeypatch, caplog):
+        calls = []
+        fake = types.ModuleType("uvloop")
+        fake.install = lambda: calls.append("install")
+        monkeypatch.setenv("REPRO_UVLOOP", "yes")
+        monkeypatch.setitem(sys.modules, "uvloop", fake)
+        with caplog.at_level(logging.INFO, logger="repro.runtime"):
+            assert server.maybe_enable_uvloop() is True
+        assert calls == ["install"]
+        assert any("uvloop event-loop policy" in r.message for r in caplog.records)
+
+    def test_absent_branch_does_not_break_the_runtime(self, monkeypatch):
+        """End to end: a broker still starts and serves with the flag set
+        and the dependency missing (the degradation the extra documents)."""
+        import asyncio
+
+        from repro.model import stock_schema
+        from repro.network import Topology
+        from repro.runtime.server import BrokerRuntime
+
+        monkeypatch.setenv("REPRO_UVLOOP", "1")
+        monkeypatch.setitem(sys.modules, "uvloop", None)
+        server.maybe_enable_uvloop()
+
+        async def body():
+            runtime = BrokerRuntime(0, Topology.line(1), stock_schema())
+            port = await runtime.start(0)
+            assert port > 0
+            await runtime.shutdown()
+
+        asyncio.run(body())
